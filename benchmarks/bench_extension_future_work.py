@@ -1,0 +1,90 @@
+"""Extension benchmarks: the paper's future-work directions.
+
+Two ablations beyond the published evaluation, both called out in the paper's
+conclusion / Sec. V-A as future work and implemented in this repository:
+
+* **Hybrid data** — "check whether combining synthetic and real data in an
+  attack can improve attack effectiveness": sweep the synthetic fraction of
+  :class:`repro.attacks.DfaHybrid` from pure real data to pure DFA.
+* **Adaptive α for REFD** — "it can also be adaptive and learned over
+  epochs": compare plain REFD (α = 1) with :class:`repro.defenses.AdaptiveRefd`
+  against a bias-style attack (DFA-G) and a confidence-style attack (DFA-R).
+"""
+
+from __future__ import annotations
+
+from harness import run_scenarios
+
+from repro.experiments import benchmark_scale
+from repro.utils import format_table
+
+_FRACTIONS = (0.0, 0.5, 1.0)
+
+
+def test_hybrid_synthetic_fraction_sweep(benchmark, runner, report):
+    scenario_list = []
+    for fraction in _FRACTIONS:
+        config = benchmark_scale(
+            "fashion-mnist",
+            attack="dfa-hybrid",
+            defense="mkrum",
+            attack_kwargs={"synthetic_fraction": fraction, "variant": "dfa-r"},
+        )
+        scenario_list.append((f"synthetic={fraction:.0%}", config))
+
+    results = benchmark.pedantic(
+        lambda: run_scenarios(runner, scenario_list), rounds=1, iterations=1
+    )
+
+    rows = [[label, result.asr, result.dpr] for label, result in results]
+    report(
+        "Future work — DFA-Hybrid: mixing synthetic and real attacker data (mKrum)",
+        format_table(["synthetic fraction", "ASR (%)", "DPR (%)"], rows),
+        note=(
+            "Paper conclusion: combining synthetic and real data is left as future work.\n"
+            "This sweep measures how the attack behaves as the malicious training set moves\n"
+            "from pure real data (0%) to pure optimized synthetic data (100%)."
+        ),
+    )
+
+    assert len(results) == len(_FRACTIONS)
+    for _, result in results:
+        assert result.asr is not None
+
+
+def test_adaptive_refd_vs_plain_refd(benchmark, runner, report):
+    scenario_list = []
+    for attack in ("dfa-r", "dfa-g"):
+        for defense in ("refd", "adaptive-refd"):
+            config = benchmark_scale("fashion-mnist", attack=attack, defense=defense)
+            scenario_list.append((f"{attack}/{defense}", config))
+
+    results = benchmark.pedantic(
+        lambda: run_scenarios(runner, scenario_list), rounds=1, iterations=1
+    )
+    by_label = dict(results)
+
+    rows = []
+    for attack in ("dfa-r", "dfa-g"):
+        rows.append(
+            [
+                attack,
+                100.0 * by_label[f"{attack}/refd"].max_accuracy,
+                100.0 * by_label[f"{attack}/adaptive-refd"].max_accuracy,
+            ]
+        )
+    report(
+        "Future work — Adaptive-α REFD vs plain REFD (Fashion-MNIST, β = 0.5)",
+        format_table(["attack", "REFD acc (%)", "adaptive REFD acc (%)"], rows),
+        note=(
+            "Sec. V-A suggests learning the D-score weight α over rounds.  The adaptive variant\n"
+            "shifts α towards whichever statistic (balance vs confidence) better separates the\n"
+            "received updates; it should match plain REFD against both DFA variants."
+        ),
+    )
+
+    assert len(results) == 4
+    for attack in ("dfa-r", "dfa-g"):
+        adaptive = by_label[f"{attack}/adaptive-refd"].max_accuracy
+        plain = by_label[f"{attack}/refd"].max_accuracy
+        assert adaptive >= plain - 0.15

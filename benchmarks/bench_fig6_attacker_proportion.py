@@ -1,0 +1,58 @@
+"""Fig. 6: ASR as a function of the attacker proportion (10% / 20% / 30%).
+
+Fashion-MNIST with the mKrum (distance-based) and TRmean (statistics-based)
+defenses.  The paper shows that more attackers yield higher attack success,
+with DFA achieving the highest ASR in most settings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from harness import run_scenarios
+
+from repro.experiments import benchmark_scale, scenarios
+from repro.utils import format_table
+
+_PAPER_NOTE = (
+    "Paper reference (Fig. 6): ASR grows with the attacker proportion for every attack;\n"
+    "DFA-R usually achieves the best ASR, except for 10% attackers under mKrum where\n"
+    "Min-Max is strongest."
+)
+
+_FRACTIONS = (0.1, 0.2, 0.3)
+_DEFENSES = ("mkrum", "trmean")
+
+
+def test_fig6_attacker_proportion(benchmark, runner, report):
+    scenario_list = scenarios.fig6_scenarios(
+        benchmark_scale, fractions=_FRACTIONS, defenses=_DEFENSES
+    )
+    results = benchmark.pedantic(
+        lambda: run_scenarios(runner, scenario_list), rounds=1, iterations=1
+    )
+    by_label = dict(results)
+
+    blocks = []
+    for defense in _DEFENSES:
+        rows = []
+        for attack in scenarios.PAPER_ATTACKS:
+            row = [attack]
+            for fraction in _FRACTIONS:
+                label = f"{defense}/attackers={fraction:.0%}/{attack}"
+                row.append(by_label[label].asr)
+            rows.append(row)
+        headers = ["attack"] + [f"ASR @ {int(f * 100)}% (%)" for f in _FRACTIONS]
+        blocks.append(f"[defense: {defense}] (Fashion-MNIST, β = 0.5)\n" + format_table(headers, rows))
+
+    report("Fig. 6 — ASR vs attacker proportion", "\n\n".join(blocks), _PAPER_NOTE)
+
+    assert len(results) == len(_DEFENSES) * len(_FRACTIONS) * len(scenarios.PAPER_ATTACKS)
+
+    # Shape check: averaged over attacks, 30% attackers should be at least as
+    # damaging as 10% attackers.
+    def mean_asr(fraction: float) -> float:
+        key = f"attackers={fraction:.0%}"
+        values = [r.asr for label, r in results if key in label and r.asr is not None]
+        return float(np.mean(values))
+
+    assert mean_asr(0.3) >= mean_asr(0.1) - 5.0

@@ -1,0 +1,96 @@
+"""Sec. V-C: computational overhead of the REFD defense.
+
+REFD evaluates every received update on the reference dataset, so its cost is
+O(|Dr| * K) model inferences per round plus an O(|Dr|) statistic per update.
+This benchmark measures the wall-clock cost of a single REFD aggregation step
+for growing reference-set sizes and compares it against Bulyan and plain
+FedAvg on the same updates, confirming that the overhead scales linearly in
+|Dr| and stays far below the cost of local training.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.data.synthetic import SyntheticImageSpec, make_synthetic_task
+from repro.defenses import Bulyan, NoDefense, Refd
+from repro.fl.training import train_local_model
+from repro.fl.types import DefenseContext, LocalTrainingConfig, ModelUpdate
+from repro.models import SmallCNN
+from repro.nn.serialization import get_flat_params
+from repro.utils import format_table
+
+_REFERENCE_SIZES = (40, 80, 160)
+_NUM_UPDATES = 8
+
+
+def _setup():
+    spec = SyntheticImageSpec(name="overhead", channels=1, image_size=16, noise_std=0.3)
+    task = make_synthetic_task(spec, train_size=200, test_size=200, seed=0)
+
+    def model_factory():
+        return SmallCNN(in_channels=1, image_size=16, num_classes=10, width=8,
+                        rng=np.random.default_rng(0))
+
+    rng = np.random.default_rng(0)
+    config = LocalTrainingConfig(local_epochs=1, batch_size=16, learning_rate=0.2)
+    updates = []
+    for client_id in range(_NUM_UPDATES):
+        model = model_factory()
+        shard = task.train.subset(rng.choice(len(task.train), size=25, replace=False))
+        train_local_model(model, shard, config, np.random.default_rng(client_id))
+        updates.append(
+            ModelUpdate(client_id=client_id, parameters=get_flat_params(model), num_samples=25)
+        )
+    return task, model_factory, updates
+
+
+def _time_aggregation(defense, updates, context, repeats: int = 3) -> float:
+    start = time.perf_counter()
+    for _ in range(repeats):
+        defense.aggregate(updates, context)
+    return (time.perf_counter() - start) / repeats
+
+
+def test_refd_overhead_scales_linearly(benchmark, report):
+    task, model_factory, updates = _setup()
+
+    def context_with(reference):
+        return DefenseContext(
+            round_number=0,
+            global_params=get_flat_params(model_factory()),
+            expected_num_malicious=2,
+            rng=np.random.default_rng(0),
+            model_factory=model_factory,
+            reference_dataset=reference,
+        )
+
+    def measure():
+        timings = {}
+        timings["fedavg"] = _time_aggregation(NoDefense(), updates, context_with(None))
+        timings["bulyan"] = _time_aggregation(Bulyan(), updates, context_with(None))
+        for size in _REFERENCE_SIZES:
+            reference = task.test.subset(range(size))
+            timings[f"refd@{size}"] = _time_aggregation(
+                Refd(num_rejected=2), updates, context_with(reference)
+            )
+        return timings
+
+    timings = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    rows = [[name, 1000.0 * seconds] for name, seconds in timings.items()]
+    report(
+        "Sec. V-C — Aggregation cost of REFD vs Bulyan vs FedAvg (per round)",
+        format_table(["aggregator", "time (ms)"], rows),
+        note=(
+            "Expected shape: REFD cost grows roughly linearly with the reference-set size |Dr|\n"
+            "(it performs |Dr| x K model inferences per round) and remains a small constant\n"
+            "factor, far cheaper than the clients' local training."
+        ),
+    )
+
+    assert timings["refd@160"] >= timings["refd@40"]
+    # Doubling |Dr| should not blow up the cost super-linearly by a large factor.
+    assert timings["refd@160"] <= 10.0 * timings["refd@40"] + 0.05

@@ -1,0 +1,94 @@
+"""Micro-benchmarks of the neural-network substrate.
+
+Not a paper artifact: these measure the building blocks every experiment
+relies on (forward/backward of the classifiers, one benign local-training
+step, one DFA synthesis step), so that performance regressions in the
+substrate are visible independently of the end-to-end experiment benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks import DfaHyperParameters, DfaR
+from repro.data.synthetic import SyntheticImageSpec, make_synthetic_task
+from repro.fl.training import train_on_arrays
+from repro.fl.types import AttackRoundContext, LocalTrainingConfig
+from repro.models import CifarCNN, FashionCNN, SmallCNN
+from repro.nn import functional as F
+from repro.nn.serialization import get_flat_params
+from repro.nn.tensor import Tensor
+
+
+def test_fashion_cnn_forward_backward(benchmark):
+    model = FashionCNN(rng=np.random.default_rng(0))
+    images = np.random.default_rng(0).standard_normal((32, 1, 28, 28)).astype(np.float32)
+    labels = np.random.default_rng(1).integers(0, 10, size=32)
+
+    def step():
+        model.zero_grad()
+        loss = F.cross_entropy(model(Tensor(images)), labels)
+        loss.backward()
+        return loss.item()
+
+    result = benchmark(step)
+    assert np.isfinite(result)
+
+
+def test_cifar_cnn_forward_backward(benchmark):
+    model = CifarCNN(rng=np.random.default_rng(0))
+    images = np.random.default_rng(0).standard_normal((16, 3, 32, 32)).astype(np.float32)
+    labels = np.random.default_rng(1).integers(0, 10, size=16)
+
+    def step():
+        model.zero_grad()
+        loss = F.cross_entropy(model(Tensor(images)), labels)
+        loss.backward()
+        return loss.item()
+
+    result = benchmark(step)
+    assert np.isfinite(result)
+
+
+def test_benign_local_training_epoch(benchmark):
+    spec = SyntheticImageSpec(name="micro", channels=1, image_size=16, noise_std=0.3)
+    task = make_synthetic_task(spec, train_size=64, test_size=16, seed=0)
+    images, labels = task.train.arrays()
+    config = LocalTrainingConfig(local_epochs=1, batch_size=16, learning_rate=0.2)
+
+    def epoch():
+        model = SmallCNN(in_channels=1, image_size=16, num_classes=10, width=8,
+                         rng=np.random.default_rng(0))
+        return train_on_arrays(model, images, labels, config, np.random.default_rng(0))[-1]
+
+    result = benchmark(epoch)
+    assert np.isfinite(result)
+
+
+def test_dfa_r_synthesis_step(benchmark):
+    spec = SyntheticImageSpec(name="micro", channels=1, image_size=16, noise_std=0.3)
+    task = make_synthetic_task(spec, train_size=64, test_size=16, seed=0)
+
+    def model_factory():
+        return SmallCNN(in_channels=1, image_size=16, num_classes=10, width=8,
+                        rng=np.random.default_rng(0))
+
+    context = AttackRoundContext(
+        round_number=0,
+        global_params=get_flat_params(model_factory()),
+        previous_global_params=None,
+        model_factory=model_factory,
+        num_classes=10,
+        image_shape=(1, 16, 16),
+        selected_malicious_ids=[0, 1],
+        training_config=LocalTrainingConfig(local_epochs=1, batch_size=16, learning_rate=0.2),
+        benign_num_samples=20,
+        rng=np.random.default_rng(0),
+    )
+
+    def synthesize():
+        attack = DfaR(hyper=DfaHyperParameters(num_synthetic=20, synthesis_epochs=4), seed=1)
+        return attack.synthesize(context).shape[0]
+
+    count = benchmark(synthesize)
+    assert count == 20

@@ -1,0 +1,61 @@
+"""Table II: attack success rate (ASR) and maximum accuracy of all attacks.
+
+The paper's main comparison: the five attacks (Fang, LIE, Min-Max, DFA-R,
+DFA-G) against the four defenses (mKrum, Bulyan, TRmean, Median) on the three
+datasets at Dirichlet β = 0.5 with 20% attackers.  The benchmark regenerates
+the full grid at the reduced benchmark scale and prints one block per
+dataset, mirroring the table's layout.
+"""
+
+from __future__ import annotations
+
+from harness import run_scenarios
+
+from repro.experiments import benchmark_scale, scenarios
+from repro.utils import format_table
+
+_PAPER_NOTE = (
+    "Paper reference (β = 0.5, 20% attackers): acc without attack/defense is 82% / 50% / 86%\n"
+    "for Fashion-MNIST / CIFAR-10 / SVHN.  Expected shape: DFA-R and DFA-G reach ASR similar\n"
+    "to or higher than the baselines (which need benign updates or real data); Min-Max is the\n"
+    "strongest baseline; Fang and LIE are the weakest under update-selecting defenses; on\n"
+    "CIFAR-10 every attack evades the defenses in at least half of the settings (ASR >= 50%)."
+)
+
+
+def test_table2_attack_success_rate(benchmark, runner, report):
+    scenario_list = scenarios.table2_scenarios(benchmark_scale)
+    results = benchmark.pedantic(
+        lambda: run_scenarios(runner, scenario_list), rounds=1, iterations=1
+    )
+    by_label = dict(results)
+
+    blocks = []
+    for dataset in scenarios.PAPER_DATASETS:
+        baseline = runner.baseline_accuracy(benchmark_scale(dataset))
+        rows = []
+        for defense in scenarios.PAPER_DEFENSES:
+            for attack in scenarios.PAPER_ATTACKS:
+                result = by_label[f"{dataset}/{defense}/{attack}"]
+                rows.append(
+                    [defense, attack, 100.0 * result.max_accuracy, result.asr]
+                )
+        table = format_table(["defense", "attack", "acc_m (%)", "ASR (%)"], rows)
+        blocks.append(f"[{dataset}]  clean accuracy acc = {100.0 * baseline:.1f}%\n{table}")
+
+    report("Table II — ASR and maximum accuracy under attack (β = 0.5)", "\n\n".join(blocks), _PAPER_NOTE)
+
+    assert len(results) == 3 * 4 * 5
+    for _, result in results:
+        assert result.asr is not None
+        assert result.asr <= 100.0
+    # The data-free attacks must be competitive: on average within a factor of
+    # the strongest baseline rather than orders of magnitude weaker.
+    def mean_asr(attack: str) -> float:
+        values = [r.asr for label, r in results if label.endswith("/" + attack)]
+        return sum(values) / len(values)
+
+    strongest_baseline = max(mean_asr(a) for a in ("fang", "lie", "min-max"))
+    dfa_best = max(mean_asr("dfa-r"), mean_asr("dfa-g"))
+    assert dfa_best > 0.0
+    assert dfa_best > 0.3 * strongest_baseline

@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at a reduced
+scale (see ``repro.experiments.presets.benchmark_scale``).  A single
+session-scoped :class:`ExperimentRunner` is shared by all benchmarks so that
+clean baselines (the ``acc`` of Eq. 4) are computed once per dataset setup.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentRunner
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    """Session-wide experiment runner with baseline caching."""
+    return ExperimentRunner()
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a reproduction table straight to the terminal (bypassing capture)."""
+
+    def _report(title: str, table: str, note: str = "") -> None:
+        with capsys.disabled():
+            print()
+            print("=" * 88)
+            print(title)
+            print("=" * 88)
+            print(table)
+            if note:
+                print(note)
+
+    return _report

@@ -1,0 +1,22 @@
+"""Helpers shared by the benchmark files (not collected as tests)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments import ExperimentResult, ExperimentRunner
+from repro.experiments.scenarios import Scenario
+
+__all__ = ["run_scenarios", "results_by_label"]
+
+
+def run_scenarios(
+    runner: ExperimentRunner, scenario_list: Sequence[Scenario]
+) -> List[Tuple[str, ExperimentResult]]:
+    """Run every (label, config) pair and return (label, result) pairs."""
+    return [(label, runner.run(config)) for label, config in scenario_list]
+
+
+def results_by_label(results: Sequence[Tuple[str, ExperimentResult]]) -> Dict[str, ExperimentResult]:
+    """Index results by their scenario label."""
+    return {label: result for label, result in results}

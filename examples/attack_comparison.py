@@ -1,0 +1,49 @@
+"""Compare the data-free attacks (DFA-R, DFA-G) against the baselines.
+
+Reproduces the structure of Table II at a small scale: for one dataset and a
+set of defenses, run Fang, LIE, Min-Max, DFA-R and DFA-G and report the
+maximum accuracy, ASR and DPR of each combination.
+
+Run with:  python examples/attack_comparison.py [dataset]
+           (dataset is one of fashion-mnist / cifar-10 / svhn; default fashion-mnist)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import ExperimentRunner, benchmark_scale
+from repro.utils import format_table
+
+ATTACKS = ("fang", "lie", "min-max", "dfa-r", "dfa-g")
+DEFENSES = ("mkrum", "bulyan", "trmean", "median")
+
+
+def main(dataset: str = "fashion-mnist") -> None:
+    runner = ExperimentRunner()
+    baseline = runner.baseline_accuracy(benchmark_scale(dataset))
+    print(f"dataset={dataset}  clean accuracy acc = {baseline:.2%}\n")
+
+    rows = []
+    for defense in DEFENSES:
+        for attack in ATTACKS:
+            config = benchmark_scale(dataset, attack=attack, defense=defense)
+            result = runner.run(config)
+            rows.append(
+                [
+                    defense,
+                    attack,
+                    100.0 * result.max_accuracy,
+                    result.asr,
+                    result.dpr,
+                ]
+            )
+    print(format_table(["defense", "attack", "acc_m (%)", "ASR (%)", "DPR (%)"], rows))
+    print(
+        "\nNote: DFA-R and DFA-G reach ASR comparable to the baselines although"
+        " they use neither benign updates nor real data."
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "fashion-mnist")

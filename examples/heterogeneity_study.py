@@ -1,0 +1,43 @@
+"""Effect of data heterogeneity on attack success (the paper's Fig. 5 workload).
+
+Sweeps the Dirichlet concentration β over {0.1, 0.5, 0.9} with the Bulyan
+defense and reports the ASR of every attack for each heterogeneity level.
+Lower β means more heterogeneous client data, which makes outlier detection
+harder and attacks stronger.
+
+Run with:  python examples/heterogeneity_study.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ExperimentRunner, benchmark_scale
+from repro.utils import format_table
+
+ATTACKS = ("fang", "lie", "min-max", "dfa-r", "dfa-g")
+BETAS = (0.1, 0.5, 0.9)
+
+
+def main() -> None:
+    runner = ExperimentRunner()
+    rows = []
+    for beta in BETAS:
+        baseline = runner.baseline_accuracy(benchmark_scale("fashion-mnist", beta=beta))
+        row = [f"beta={beta}", 100.0 * baseline]
+        for attack in ATTACKS:
+            config = benchmark_scale(
+                "fashion-mnist", attack=attack, defense="bulyan", beta=beta
+            )
+            row.append(runner.run(config).asr)
+        rows.append(row)
+
+    headers = ["heterogeneity", "clean acc (%)"] + [f"ASR {a} (%)" for a in ATTACKS]
+    print(format_table(headers, rows))
+    print(
+        "\nExpected shape (paper, Fig. 5): attack success generally increases as"
+        " the data becomes more heterogeneous (smaller beta), because diverse"
+        " benign updates give defenses a weaker reference for outlier detection."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Quickstart: run one data-free attack (DFA-R) against a defended FL system.
+
+This example builds the full pipeline by hand — dataset, model factory,
+attack, defense, simulation — so you can see every public API involved.
+It takes a few seconds on a laptop CPU.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks import DfaHyperParameters, DfaR
+from repro.data import load_dataset
+from repro.defenses import MultiKrum
+from repro.fl import FederatedSimulation, LocalTrainingConfig
+from repro.metrics import attack_success_rate, defense_pass_rate
+from repro.models import build_classifier_for_task
+
+
+def main() -> None:
+    # 1. A small synthetic stand-in for Fashion-MNIST (16x16 grayscale,
+    #    10 classes).  Use image_size=28 / larger sizes for bigger runs.
+    task = load_dataset("fashion-mnist", train_size=400, test_size=160, image_size=16, seed=0)
+
+    # 2. Every client and the server share the same architecture.
+    def model_factory():
+        return build_classifier_for_task(task, architecture="small-cnn", seed=0)
+
+    training = LocalTrainingConfig(local_epochs=1, batch_size=16, learning_rate=0.25)
+
+    # 3. Clean baseline: no attack, no defense -> the paper's `acc`.
+    clean = FederatedSimulation(
+        task=task,
+        model_factory=model_factory,
+        num_clients=20,
+        clients_per_round=8,
+        malicious_fraction=0.0,
+        beta=0.5,
+        training_config=training,
+        seed=0,
+    ).run(num_rounds=18)
+    print(f"clean accuracy (no attack, no defense): {clean.max_accuracy:.2%}")
+
+    # 4. The data-free DFA-R attack against the Multi-Krum defense.
+    attack = DfaR(hyper=DfaHyperParameters(num_synthetic=20, synthesis_epochs=4))
+    attacked = FederatedSimulation(
+        task=task,
+        model_factory=model_factory,
+        num_clients=20,
+        clients_per_round=8,
+        malicious_fraction=0.2,
+        beta=0.5,
+        attack=attack,
+        defense=MultiKrum(),
+        training_config=training,
+        seed=0,
+    ).run(num_rounds=18)
+
+    asr = attack_success_rate(clean.max_accuracy, attacked.max_accuracy)
+    dpr = defense_pass_rate(attacked.records)
+    print(f"attacked accuracy (DFA-R vs mKrum):     {attacked.max_accuracy:.2%}")
+    print(f"attack success rate (ASR, Eq. 4):       {asr:.1f}%")
+    print(f"defense pass rate  (DPR, Eq. 5):        {dpr:.1f}%")
+    print()
+    print("per-round accuracy trace:")
+    print("  " + " ".join(f"{record.accuracy:.2f}" for record in attacked.records))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""REFD in action: defend against the data-free attacks with a reference dataset.
+
+Reproduces the structure of Fig. 9 at a small scale: for DFA-R and DFA-G and
+several heterogeneity levels (i.i.d. and Dirichlet β), compare the global
+model accuracy under the proposed REFD defense and under Bulyan, next to the
+attack-free baseline.
+
+Run with:  python examples/refd_defense.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ExperimentRunner, benchmark_scale
+from repro.utils import format_table
+
+BETAS = (None, 0.9, 0.5, 0.1)  # None = i.i.d.
+
+
+def main() -> None:
+    runner = ExperimentRunner()
+    rows = []
+    for attack in ("dfa-r", "dfa-g"):
+        for beta in BETAS:
+            beta_label = "iid" if beta is None else f"{beta:.1f}"
+            baseline = runner.baseline_accuracy(benchmark_scale("fashion-mnist", beta=beta))
+            accuracies = {}
+            for defense in ("refd", "bulyan"):
+                config = benchmark_scale(
+                    "fashion-mnist", attack=attack, defense=defense, beta=beta
+                )
+                accuracies[defense] = runner.run(config).max_accuracy
+            rows.append(
+                [
+                    attack,
+                    beta_label,
+                    100.0 * baseline,
+                    100.0 * accuracies["refd"],
+                    100.0 * accuracies["bulyan"],
+                ]
+            )
+    print(
+        format_table(
+            ["attack", "beta", "no-attack acc (%)", "REFD acc (%)", "Bulyan acc (%)"], rows
+        )
+    )
+    print(
+        "\nREFD uses a balanced reference dataset at the server and filters the"
+        " X lowest D-score updates (Eq. 8); it recovers most of the clean accuracy."
+    )
+
+
+if __name__ == "__main__":
+    main()

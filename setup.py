@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in
+offline environments whose setuptools/pip combination cannot build
+PEP 660 editable wheels (no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""Reproduction of "Fabricated Flips: Poisoning Federated Learning without Data".
+
+The library implements the full system described in the DSN 2023 paper by
+Huang, Zhao, Chen and Roos:
+
+* :mod:`repro.nn` — a from-scratch numpy autograd / neural-network substrate
+  (the environment has no deep-learning framework installed);
+* :mod:`repro.data` — synthetic stand-ins for Fashion-MNIST, CIFAR-10 and
+  SVHN plus Dirichlet-based client partitioning;
+* :mod:`repro.models` — the paper's classifiers, the DFA-G generator and the
+  DFA-R filter network;
+* :mod:`repro.fl` — the cross-device federated learning simulation;
+* :mod:`repro.attacks` — DFA-R, DFA-G and the LIE / Fang / Min-Max baselines;
+* :mod:`repro.defenses` — mKrum, Bulyan, Median, Trimmed mean, FoolsGold and
+  the proposed REFD defense;
+* :mod:`repro.experiments` — the harness that regenerates every table and
+  figure of the evaluation section.
+"""
+
+from . import attacks, data, defenses, experiments, fl, metrics, models, nn, utils
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "attacks",
+    "data",
+    "defenses",
+    "experiments",
+    "fl",
+    "metrics",
+    "models",
+    "nn",
+    "utils",
+    "__version__",
+]

@@ -1,0 +1,40 @@
+"""Untargeted poisoning attacks on federated learning.
+
+The package contains the paper's two data-free attacks (DFA-R and DFA-G),
+the state-of-the-art baselines it compares against (LIE, Fang, Min-Max,
+Min-Sum), the real-data comparator of Fig. 8 and simple auxiliary attacks.
+"""
+
+from .base import Attack
+from .dfa_common import DfaHyperParameters
+from .dfa_g import DfaG
+from .dfa_hybrid import DfaHybrid
+from .dfa_r import DfaR
+from .fang import FangAttack
+from .lie import LieAttack, lie_z_max
+from .minmax import MinMaxAttack, MinSumAttack
+from .real_data import RealDataFlip
+from .registry import ATTACK_REGISTRY, available_attacks, build_attack
+from .regularization import DistanceRegularizer
+from .simple import LabelFlip, RandomWeights, SignFlip
+
+__all__ = [
+    "Attack",
+    "DfaHyperParameters",
+    "DfaR",
+    "DfaG",
+    "DfaHybrid",
+    "LieAttack",
+    "lie_z_max",
+    "FangAttack",
+    "MinMaxAttack",
+    "MinSumAttack",
+    "RealDataFlip",
+    "RandomWeights",
+    "SignFlip",
+    "LabelFlip",
+    "DistanceRegularizer",
+    "ATTACK_REGISTRY",
+    "build_attack",
+    "available_attacks",
+]

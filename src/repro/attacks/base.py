@@ -1,0 +1,79 @@
+"""Attack interface for untargeted poisoning of federated learning."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..fl.types import AttackRoundContext, ModelUpdate
+
+__all__ = ["Attack"]
+
+
+class Attack(ABC):
+    """Base class of all untargeted attacks.
+
+    An attack models a *single adversary* that controls a set of Sybil
+    clients.  Once per round, :meth:`craft_updates` is invoked with an
+    :class:`~repro.fl.types.AttackRoundContext` and must return one
+    :class:`~repro.fl.types.ModelUpdate` per selected malicious client.
+
+    Class attributes encode the knowledge assumptions of Table I:
+
+    ``requires_benign_updates``
+        The attack reads the benign updates of the current round
+        (LIE, Fang, Min-Max, Min-Sum).
+    ``requires_attacker_data``
+        The attack needs real training data at the adversary
+        (label flipping, the real-data comparator of Fig. 8).
+
+    The data-free attacks DFA-R and DFA-G set both flags to ``False``.
+    """
+
+    name: str = "attack"
+    requires_benign_updates: bool = False
+    requires_attacker_data: bool = False
+
+    @abstractmethod
+    def craft_updates(self, context: AttackRoundContext) -> List[ModelUpdate]:
+        """Produce the malicious updates for the selected attacker clients."""
+
+    # ------------------------------------------------------------------
+    # Helpers shared by concrete attacks
+    # ------------------------------------------------------------------
+    def _replicate(
+        self,
+        vector: np.ndarray,
+        context: AttackRoundContext,
+        num_samples: Optional[int] = None,
+    ) -> List[ModelUpdate]:
+        """Submit the same crafted parameter vector from every Sybil client.
+
+        The threat model allows all attackers to submit identical updates;
+        see Sec. III-A of the paper.
+        """
+        num_samples = num_samples or context.benign_num_samples
+        return [
+            ModelUpdate(
+                client_id=client_id,
+                parameters=np.array(vector, dtype=np.float64, copy=True),
+                num_samples=num_samples,
+                is_malicious=True,
+            )
+            for client_id in context.selected_malicious_ids
+        ]
+
+    def _benign_matrix(self, context: AttackRoundContext) -> np.ndarray:
+        """Stack the benign updates the attack is allowed to observe."""
+        if not self.requires_benign_updates:
+            raise RuntimeError(
+                f"{self.name} declares requires_benign_updates=False but asked for them"
+            )
+        if not context.benign_updates:
+            raise ValueError(f"{self.name} requires benign updates but none were provided")
+        return np.stack([update.parameters for update in context.benign_updates], axis=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"

@@ -1,0 +1,114 @@
+"""Shared machinery of the two DFA variants.
+
+Both DFA-R and DFA-G follow the same two-step structure (Sec. III-B):
+
+1. synthesize a malicious image set ``S`` by optimizing against the frozen
+   current global model (each variant does this differently);
+2. train the adversarial classifier on ``S`` paired with the chosen label
+   ``Ỹ`` using the distance-regularized loss of Eq. 3.
+
+This module implements step 2 plus small helpers used by both variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..fl.training import train_on_arrays
+from ..fl.types import AttackRoundContext, LocalTrainingConfig
+from ..nn.modules import Module
+from ..nn.serialization import get_flat_params, set_flat_params
+from .regularization import DistanceRegularizer
+
+__all__ = ["DfaHyperParameters", "train_adversarial_classifier", "_ArrayView"]
+
+
+class _ArrayView:
+    """Minimal dataset adapter exposing ``arrays()`` over in-memory arrays."""
+
+    def __init__(self, images: np.ndarray, labels: np.ndarray) -> None:
+        self.images = np.asarray(images, dtype=np.float32)
+        self.labels = np.asarray(labels, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        return self.images, self.labels
+
+
+@dataclass
+class DfaHyperParameters:
+    """Hyper-parameters shared by DFA-R and DFA-G.
+
+    Attributes
+    ----------
+    num_synthetic:
+        ``|S|``, the number of synthetic images generated per round; the
+        paper uses a value similar to the benign clients' shard size (50).
+    synthesis_epochs:
+        ``E``, the number of epochs used to optimize the filter layer /
+        generator per round (5 for Fashion-MNIST, 10 for CIFAR-10/SVHN).
+    synthesis_lr:
+        Learning rate of the Adam optimizer used for synthesis.
+    train_synthesizer:
+        If ``False``, the filter/generator stays at its random
+        initialization — the "Static" ablation of Table III.
+    use_regularization:
+        If ``False``, the distance-based regularization term of Eq. 3 is
+        dropped — the ablation of Table IV.
+    regularization_weight:
+        Scale of the regularization term when enabled.
+    """
+
+    num_synthetic: int = 50
+    synthesis_epochs: int = 5
+    synthesis_lr: float = 0.01
+    train_synthesizer: bool = True
+    use_regularization: bool = True
+    regularization_weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.num_synthetic < 1:
+            raise ValueError("num_synthetic must be at least 1")
+        if self.synthesis_epochs < 1:
+            raise ValueError("synthesis_epochs must be at least 1")
+        if self.synthesis_lr <= 0:
+            raise ValueError("synthesis_lr must be positive")
+        if self.regularization_weight < 0:
+            raise ValueError("regularization_weight must be non-negative")
+
+
+def train_adversarial_classifier(
+    context: AttackRoundContext,
+    synthetic_images: np.ndarray,
+    labels: np.ndarray,
+    hyper: DfaHyperParameters,
+) -> Tuple[np.ndarray, List[float]]:
+    """Step 2 of DFA: train the malicious local model on the synthetic set.
+
+    Returns the flat parameter vector of the adversarial model
+    ``w_m(t + 1)`` and the per-epoch training losses.
+    """
+    model = context.model_factory()
+    set_flat_params(model, context.global_params)
+    regularizer = None
+    if hyper.use_regularization:
+        regularizer = DistanceRegularizer(
+            reference_model=model,
+            global_params=context.global_params,
+            previous_global_params=context.previous_global_params,
+            weight=hyper.regularization_weight,
+        )
+    losses = train_on_arrays(
+        model,
+        synthetic_images,
+        labels,
+        context.training_config,
+        context.rng,
+        extra_loss=regularizer,
+    )
+    return get_flat_params(model), losses

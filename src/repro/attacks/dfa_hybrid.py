@@ -1,0 +1,101 @@
+"""DFA-Hybrid: combining synthetic and real data in one attack.
+
+The paper's conclusion lists "check whether combining synthetic and real data
+in an attack can improve attack effectiveness" as future work.  This attack
+implements that combination: per round it builds the malicious training set
+from a mix of DFA-style optimized synthetic images (produced by a DFA-R or
+DFA-G synthesizer) and real images owned by the attacker clients, all
+labelled with the fixed class ``Ỹ`` and trained with the distance-regularized
+adversarial loss.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..fl.types import AttackRoundContext, ModelUpdate
+from .base import Attack
+from .dfa_common import DfaHyperParameters, train_adversarial_classifier
+from .dfa_g import DfaG
+from .dfa_r import DfaR
+
+__all__ = ["DfaHybrid"]
+
+
+class DfaHybrid(Attack):
+    """Mix optimized synthetic images with real attacker data.
+
+    Parameters
+    ----------
+    synthetic_fraction:
+        Fraction of the malicious training set drawn from the synthesizer;
+        the remainder is sampled from the attacker clients' real shards.
+        ``1.0`` reduces to pure DFA, ``0.0`` to the real-data comparator.
+    variant:
+        Which synthesizer to use: ``"dfa-r"`` (filter layer) or ``"dfa-g"``
+        (generator network).
+    """
+
+    name = "dfa-hybrid"
+    requires_benign_updates = False
+    requires_attacker_data = True
+
+    def __init__(
+        self,
+        hyper: Optional[DfaHyperParameters] = None,
+        synthetic_fraction: float = 0.5,
+        variant: str = "dfa-r",
+        seed: int = 2024,
+    ) -> None:
+        if not 0.0 <= synthetic_fraction <= 1.0:
+            raise ValueError("synthetic_fraction must be in [0, 1]")
+        if variant not in ("dfa-r", "dfa-g"):
+            raise ValueError("variant must be 'dfa-r' or 'dfa-g'")
+        self.hyper = hyper or DfaHyperParameters()
+        self.synthetic_fraction = synthetic_fraction
+        self.variant = variant
+        self._rng = np.random.default_rng(seed)
+        self.target_label: Optional[int] = None
+        if variant == "dfa-r":
+            self._synthesizer = DfaR(hyper=self.hyper, seed=seed + 1)
+        else:
+            self._synthesizer = DfaG(hyper=self.hyper, seed=seed + 1)
+
+    # ------------------------------------------------------------------
+    def _real_images(self, context: AttackRoundContext, count: int) -> np.ndarray:
+        blocks = []
+        for dataset in (context.attacker_datasets or {}).values():
+            if len(dataset) == 0:
+                continue
+            images, _ = dataset.arrays()
+            blocks.append(images)
+        if not blocks:
+            raise ValueError("DFA-Hybrid requires attacker-owned data shards")
+        pool = np.concatenate(blocks, axis=0)
+        if count >= len(pool):
+            return pool
+        chosen = self._rng.choice(len(pool), size=count, replace=False)
+        return pool[chosen]
+
+    def craft_updates(self, context: AttackRoundContext) -> List[ModelUpdate]:
+        if self.target_label is None:
+            self.target_label = int(self._rng.integers(0, context.num_classes))
+        # Keep both components labelling towards the same class.
+        self._synthesizer.target_label = self.target_label
+
+        total = self.hyper.num_synthetic
+        num_synthetic = int(round(self.synthetic_fraction * total))
+        num_real = total - num_synthetic
+
+        parts = []
+        if num_synthetic > 0:
+            synthetic = self._synthesizer.synthesize(context)
+            parts.append(synthetic[:num_synthetic])
+        if num_real > 0:
+            parts.append(self._real_images(context, num_real))
+        images = np.concatenate(parts, axis=0).astype(np.float32)
+        labels = np.full(len(images), self.target_label, dtype=np.int64)
+        vector, _ = train_adversarial_classifier(context, images, labels, self.hyper)
+        return self._replicate(vector, context, num_samples=len(images))

@@ -1,0 +1,54 @@
+"""The Fang attack (Fang et al., USENIX Security 2020).
+
+The attack steers each global-model parameter in the direction *opposite* to
+the benign update direction.  As in the paper's evaluation, we use the
+variant crafted against Trimmed-mean/Median with partial knowledge (the
+attacker estimates the benign distribution from the benign updates it
+observes): for each coordinate, the malicious value is sampled several
+standard deviations away from the benign mean, on the side opposite to the
+benign movement direction.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..fl.types import AttackRoundContext, ModelUpdate
+from .base import Attack
+
+__all__ = ["FangAttack"]
+
+
+class FangAttack(Attack):
+    """Directed-deviation attack against Trimmed-mean/Median aggregation.
+
+    Parameters
+    ----------
+    low, high:
+        The malicious value for a coordinate moving in direction ``s`` is
+        sampled uniformly from ``[mean + low*std, mean + high*std]`` on the
+        side ``-s`` (the original paper uses 3 and 4).
+    """
+
+    name = "fang"
+    requires_benign_updates = True
+    requires_attacker_data = False
+
+    def __init__(self, low: float = 3.0, high: float = 4.0) -> None:
+        if low <= 0 or high <= low:
+            raise ValueError("need 0 < low < high")
+        self.low = low
+        self.high = high
+
+    def craft_updates(self, context: AttackRoundContext) -> List[ModelUpdate]:
+        benign = self._benign_matrix(context)
+        mean = benign.mean(axis=0)
+        std = benign.std(axis=0)
+        # Benign movement direction of each parameter relative to the global model.
+        direction = np.sign(mean - context.global_params)
+        direction[direction == 0] = 1.0
+        magnitude = context.rng.uniform(self.low, self.high, size=mean.shape)
+        vector = mean - direction * magnitude * std
+        return self._replicate(vector, context)

@@ -1,0 +1,78 @@
+"""The "A Little Is Enough" (LIE) attack (Baruch et al., NeurIPS 2019).
+
+LIE computes the coordinate-wise mean and standard deviation of the benign
+updates and shifts the mean by a small factor ``z`` chosen such that the
+malicious update still falls within the range that Byzantine-robust
+aggregation rules consider acceptable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+from scipy import stats
+
+from ..fl.types import AttackRoundContext, ModelUpdate
+from .base import Attack
+
+__all__ = ["LieAttack", "lie_z_max"]
+
+
+def lie_z_max(num_clients: int, num_malicious: int) -> float:
+    """The maximal shift factor ``z`` from the LIE paper.
+
+    With ``n`` participating clients and ``m`` of them malicious, the number
+    of benign updates required for a supermajority is
+    ``s = floor(n/2 + 1) - m``; the attack then picks the largest ``z`` such
+    that the fraction of benign updates expected to be further from the mean
+    than the malicious one is at least ``s / (n - m)``.
+    """
+    if num_clients <= num_malicious:
+        raise ValueError("number of malicious clients must be smaller than total clients")
+    benign = num_clients - num_malicious
+    s = math.floor(num_clients / 2 + 1) - num_malicious
+    s = max(s, 0)
+    quantile = (benign - s) / benign if benign > 0 else 0.0
+    quantile = min(max(quantile, 1e-6), 1.0 - 1e-6)
+    return float(stats.norm.ppf(quantile))
+
+
+class LieAttack(Attack):
+    """Shift the benign mean by ``z`` standard deviations per coordinate.
+
+    Parameters
+    ----------
+    z:
+        Fixed shift factor.  If ``None`` (default), the factor is computed
+        per round from the number of selected clients via :func:`lie_z_max`.
+    min_z:
+        Lower bound on the computed factor.  With the small per-round cohorts
+        of cross-device FL (10 selected clients), the closed-form ``z`` can
+        degenerate to zero, which would turn the attack into a no-op; the
+        floor keeps the characteristic "small static shift" behaviour.
+    """
+
+    name = "lie"
+    requires_benign_updates = True
+    requires_attacker_data = False
+
+    def __init__(self, z: Optional[float] = None, min_z: float = 0.3) -> None:
+        if min_z < 0:
+            raise ValueError("min_z must be non-negative")
+        self.z = z
+        self.min_z = min_z
+
+    def craft_updates(self, context: AttackRoundContext) -> List[ModelUpdate]:
+        benign = self._benign_matrix(context)
+        num_malicious = len(context.selected_malicious_ids)
+        num_clients = benign.shape[0] + num_malicious
+        if self.z is not None:
+            z = self.z
+        else:
+            z = max(lie_z_max(num_clients, num_malicious), self.min_z)
+        mean = benign.mean(axis=0)
+        std = benign.std(axis=0)
+        vector = mean - z * std
+        return self._replicate(vector, context)

@@ -1,0 +1,128 @@
+"""Min-Max and Min-Sum attacks (Shejwalkar & Houmansadr, NDSS 2021).
+
+Both attacks craft the malicious update as ``mean(benign) + gamma * p`` where
+``p`` is a dataset-tailored perturbation direction and ``gamma`` is maximized
+under a stealthiness constraint expressed in terms of distances to the benign
+updates:
+
+* **Min-Max**: the maximum distance of the malicious update to any benign
+  update must not exceed the maximum pairwise distance among benign updates.
+* **Min-Sum**: the sum of squared distances of the malicious update to the
+  benign updates must not exceed the maximum such sum over benign updates.
+
+As in the paper's evaluation we use the aggregation-agnostic (AGR-agnostic)
+variant, which does not require knowledge of the server's defense.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..fl.types import AttackRoundContext, ModelUpdate
+from .base import Attack
+
+__all__ = ["MinMaxAttack", "MinSumAttack"]
+
+_PERTURBATIONS = ("unit_vec", "std", "sign")
+
+
+def _perturbation(benign: np.ndarray, kind: str) -> np.ndarray:
+    """Perturbation direction ``p`` from the original paper."""
+    mean = benign.mean(axis=0)
+    if kind == "unit_vec":
+        norm = np.linalg.norm(mean)
+        return -mean / norm if norm > 0 else -np.ones_like(mean) / np.sqrt(mean.size)
+    if kind == "std":
+        return -benign.std(axis=0)
+    if kind == "sign":
+        return -np.sign(mean)
+    raise ValueError(f"unknown perturbation '{kind}'; choose from {_PERTURBATIONS}")
+
+
+class _OptimizedScalingAttack(Attack):
+    """Shared gamma-search machinery of Min-Max and Min-Sum."""
+
+    requires_benign_updates = True
+    requires_attacker_data = False
+
+    def __init__(
+        self,
+        perturbation: str = "std",
+        gamma_init: float = 10.0,
+        threshold: float = 1e-3,
+        max_iterations: int = 30,
+    ) -> None:
+        if perturbation not in _PERTURBATIONS:
+            raise ValueError(f"unknown perturbation '{perturbation}'; choose from {_PERTURBATIONS}")
+        if gamma_init <= 0:
+            raise ValueError("gamma_init must be positive")
+        self.perturbation = perturbation
+        self.gamma_init = gamma_init
+        self.threshold = threshold
+        self.max_iterations = max_iterations
+        self.last_gamma: float = 0.0
+
+    # -- constraint --------------------------------------------------------
+    def _budget(self, benign: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def _cost(self, candidate: np.ndarray, benign: np.ndarray) -> float:
+        raise NotImplementedError
+
+    # -- crafting ----------------------------------------------------------
+    def craft_updates(self, context: AttackRoundContext) -> List[ModelUpdate]:
+        benign = self._benign_matrix(context)
+        mean = benign.mean(axis=0)
+        if benign.shape[0] < 2:
+            # A single observed benign update gives no distance budget; fall
+            # back to submitting the mean itself.
+            return self._replicate(mean, context)
+        direction = _perturbation(benign, self.perturbation)
+        budget = self._budget(benign)
+
+        gamma = self.gamma_init
+        step = self.gamma_init / 2.0
+        best_gamma = 0.0
+        for _ in range(self.max_iterations):
+            candidate = mean + gamma * direction
+            if self._cost(candidate, benign) <= budget:
+                best_gamma = max(best_gamma, gamma)
+                gamma = gamma + step
+            else:
+                gamma = gamma - step
+            step = step / 2.0
+            if step < self.threshold:
+                break
+        self.last_gamma = best_gamma
+        vector = mean + best_gamma * direction
+        return self._replicate(vector, context)
+
+
+class MinMaxAttack(_OptimizedScalingAttack):
+    """Maximize gamma subject to the max-distance constraint."""
+
+    name = "min-max"
+
+    def _budget(self, benign: np.ndarray) -> float:
+        diffs = benign[:, None, :] - benign[None, :, :]
+        distances = np.linalg.norm(diffs, axis=-1)
+        return float(distances.max())
+
+    def _cost(self, candidate: np.ndarray, benign: np.ndarray) -> float:
+        return float(np.linalg.norm(benign - candidate[None, :], axis=1).max())
+
+
+class MinSumAttack(_OptimizedScalingAttack):
+    """Maximize gamma subject to the sum-of-squared-distances constraint."""
+
+    name = "min-sum"
+
+    def _budget(self, benign: np.ndarray) -> float:
+        diffs = benign[:, None, :] - benign[None, :, :]
+        squared = (diffs ** 2).sum(axis=-1)
+        return float(squared.sum(axis=1).max())
+
+    def _cost(self, candidate: np.ndarray, benign: np.ndarray) -> float:
+        return float(((benign - candidate[None, :]) ** 2).sum())

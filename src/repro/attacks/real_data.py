@@ -1,0 +1,55 @@
+"""Real-data comparator used in the "synthetic vs real data" ablation (Fig. 8).
+
+The attack follows the DFA training pipeline (single chosen label ``Ỹ``,
+distance-regularized adversarial classifier training) but replaces the
+synthetic image set with *real* images owned by the attacker clients, which
+are assigned shards under the same Dirichlet distribution as benign users.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..fl.types import AttackRoundContext, ModelUpdate
+from .base import Attack
+from .dfa_common import DfaHyperParameters, train_adversarial_classifier
+
+__all__ = ["RealDataFlip"]
+
+
+class RealDataFlip(Attack):
+    """Train the adversarial classifier on real data labelled with ``Ỹ``."""
+
+    name = "real-data"
+    requires_benign_updates = False
+    requires_attacker_data = True
+
+    def __init__(self, hyper: Optional[DfaHyperParameters] = None, seed: int = 777) -> None:
+        self.hyper = hyper or DfaHyperParameters()
+        self._rng = np.random.default_rng(seed)
+        self.target_label: Optional[int] = None
+
+    def craft_updates(self, context: AttackRoundContext) -> List[ModelUpdate]:
+        if not context.attacker_datasets:
+            raise ValueError("the real-data attack requires attacker-owned data shards")
+        if self.target_label is None:
+            self.target_label = int(self._rng.integers(0, context.num_classes))
+
+        # Pool all attacker-owned data; the adversary is a single entity.
+        image_blocks = []
+        for dataset in context.attacker_datasets.values():
+            if len(dataset) == 0:
+                continue
+            images, _ = dataset.arrays()
+            image_blocks.append(images)
+        if not image_blocks:
+            raise ValueError("attacker datasets are all empty")
+        images = np.concatenate(image_blocks, axis=0)
+        if len(images) > self.hyper.num_synthetic:
+            chosen = self._rng.choice(len(images), size=self.hyper.num_synthetic, replace=False)
+            images = images[chosen]
+        labels = np.full(len(images), self.target_label, dtype=np.int64)
+        vector, _ = train_adversarial_classifier(context, images, labels, self.hyper)
+        return self._replicate(vector, context, num_samples=len(images))

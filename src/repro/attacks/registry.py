@@ -1,0 +1,46 @@
+"""Name-based construction of attacks, used by the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .base import Attack
+from .dfa_g import DfaG
+from .dfa_hybrid import DfaHybrid
+from .dfa_r import DfaR
+from .fang import FangAttack
+from .lie import LieAttack
+from .minmax import MinMaxAttack, MinSumAttack
+from .real_data import RealDataFlip
+from .simple import LabelFlip, RandomWeights, SignFlip
+
+__all__ = ["ATTACK_REGISTRY", "build_attack", "available_attacks"]
+
+ATTACK_REGISTRY: Dict[str, Callable[..., Attack]] = {
+    "lie": LieAttack,
+    "fang": FangAttack,
+    "min-max": MinMaxAttack,
+    "min-sum": MinSumAttack,
+    "dfa-r": DfaR,
+    "dfa-g": DfaG,
+    "dfa-hybrid": DfaHybrid,
+    "real-data": RealDataFlip,
+    "random-weights": RandomWeights,
+    "sign-flip": SignFlip,
+    "label-flip": LabelFlip,
+}
+
+
+def available_attacks() -> List[str]:
+    """Sorted list of registered attack names."""
+    return sorted(ATTACK_REGISTRY)
+
+
+def build_attack(name: Optional[str], **kwargs) -> Optional[Attack]:
+    """Instantiate an attack by name; ``None`` or ``"none"`` means no attack."""
+    if name is None or name.lower() == "none":
+        return None
+    key = name.lower()
+    if key not in ATTACK_REGISTRY:
+        raise KeyError(f"unknown attack '{name}'; choose from {available_attacks()}")
+    return ATTACK_REGISTRY[key](**kwargs)

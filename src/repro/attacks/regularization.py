@@ -1,0 +1,65 @@
+"""Distance-based regularization (Eq. 3) shared by the DFA attack variants.
+
+The adversarial classifier is trained with
+
+    L = F(w, S) + Ld,    Ld = ||w - w(t)||_2 - ||w(t) - w(t-1)||_2,
+
+which steers the malicious update's deviation from the current global model
+to be of similar magnitude as the global model's own change in the previous
+round, so that distance-based defenses do not flag it as an outlier.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn.modules import Module
+from ..nn.serialization import vector_to_state_dict
+from ..nn.tensor import Tensor
+
+__all__ = ["DistanceRegularizer"]
+
+
+class DistanceRegularizer:
+    """Callable computing ``Ld`` for a model inside the autograd graph.
+
+    Parameters
+    ----------
+    global_params, previous_global_params:
+        Flat vectors ``w(t)`` and ``w(t-1)``.  If the previous round's model
+        is unknown (first round), the constant second term is zero.
+    weight:
+        Scale of the regularization term added to the loss.
+    """
+
+    def __init__(
+        self,
+        reference_model: Module,
+        global_params: np.ndarray,
+        previous_global_params: Optional[np.ndarray],
+        weight: float = 1.0,
+    ) -> None:
+        self.weight = weight
+        self._target_state = vector_to_state_dict(global_params, reference_model)
+        if previous_global_params is None:
+            self.previous_round_distance = 0.0
+        else:
+            diff = np.asarray(global_params, dtype=np.float64) - np.asarray(
+                previous_global_params, dtype=np.float64
+            )
+            self.previous_round_distance = float(np.linalg.norm(diff))
+
+    def __call__(self, model: Module) -> Tensor:
+        """Return the regularization term as a scalar tensor in the graph."""
+        squared_total: Optional[Tensor] = None
+        for name, param in model.named_parameters():
+            target = Tensor(self._target_state[name])
+            diff = param - target
+            contribution = (diff * diff).sum()
+            squared_total = contribution if squared_total is None else squared_total + contribution
+        if squared_total is None:
+            raise ValueError("model has no parameters to regularize")
+        distance = (squared_total + 1e-12) ** 0.5
+        return (distance - self.previous_round_distance) * self.weight

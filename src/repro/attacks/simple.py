@@ -1,0 +1,116 @@
+"""Simple baseline attacks: random weights, sign flipping, label flipping.
+
+``RandomWeights`` reproduces the motivating experiment of Sec. III-B (random
+model weights are almost always filtered out by mKrum/Bulyan).  ``SignFlip``
+and ``LabelFlip`` are classic poisoning baselines included for completeness
+of the attack suite; they are not part of the paper's main comparison.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..fl.training import train_local_model
+from ..fl.types import AttackRoundContext, ModelUpdate
+from ..nn.serialization import get_flat_params, set_flat_params
+from .base import Attack
+
+__all__ = ["RandomWeights", "SignFlip", "LabelFlip"]
+
+
+class RandomWeights(Attack):
+    """Submit a model whose parameters are drawn at random each round.
+
+    The parameter scale matches the empirical standard deviation of the
+    current global model so that the update is not trivially detectable by
+    magnitude alone.
+    """
+
+    name = "random-weights"
+    requires_benign_updates = False
+    requires_attacker_data = False
+
+    def __init__(self, scale: float = 1.0) -> None:
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.scale = scale
+
+    def craft_updates(self, context: AttackRoundContext) -> List[ModelUpdate]:
+        std = float(context.global_params.std()) or 1.0
+        vector = context.rng.normal(0.0, self.scale * std, size=context.global_params.shape)
+        return self._replicate(vector, context)
+
+
+class SignFlip(Attack):
+    """Reflect the benign mean update across the global model.
+
+    The crafted model is ``w(t) - gamma * (mean(benign) - w(t))``, i.e. the
+    benign update direction with its sign flipped, which requires knowledge
+    of the benign updates.
+    """
+
+    name = "sign-flip"
+    requires_benign_updates = True
+    requires_attacker_data = False
+
+    def __init__(self, gamma: float = 1.0) -> None:
+        if gamma <= 0:
+            raise ValueError("gamma must be positive")
+        self.gamma = gamma
+
+    def craft_updates(self, context: AttackRoundContext) -> List[ModelUpdate]:
+        benign = self._benign_matrix(context)
+        mean_update = benign.mean(axis=0) - context.global_params
+        vector = context.global_params - self.gamma * mean_update
+        return self._replicate(vector, context)
+
+
+class LabelFlip(Attack):
+    """Classic data poisoning: train on real local data with flipped labels.
+
+    Label ``l`` is mapped to ``num_classes - 1 - l``.  Requires the attacker
+    clients to own real data shards.
+    """
+
+    name = "label-flip"
+    requires_benign_updates = False
+    requires_attacker_data = True
+
+    def craft_updates(self, context: AttackRoundContext) -> List[ModelUpdate]:
+        if not context.attacker_datasets:
+            raise ValueError("label flipping requires attacker-owned data shards")
+        updates: List[ModelUpdate] = []
+        for client_id in context.selected_malicious_ids:
+            dataset = context.attacker_datasets.get(client_id)
+            if dataset is None or len(dataset) == 0:
+                # Attacker client without data falls back to submitting the
+                # unchanged global model (a no-op contribution).
+                updates.append(
+                    ModelUpdate(
+                        client_id=client_id,
+                        parameters=context.global_params.copy(),
+                        num_samples=max(context.benign_num_samples, 1),
+                        is_malicious=True,
+                    )
+                )
+                continue
+            images, labels = dataset.arrays()
+            flipped = (context.num_classes - 1) - labels
+            model = context.model_factory()
+            set_flat_params(model, context.global_params)
+            from .dfa_common import _ArrayView  # lightweight dataset adapter
+
+            train_local_model(
+                model, _ArrayView(images, flipped), context.training_config, context.rng
+            )
+            updates.append(
+                ModelUpdate(
+                    client_id=client_id,
+                    parameters=get_flat_params(model),
+                    num_samples=len(labels),
+                    is_malicious=True,
+                )
+            )
+        return updates

@@ -1,0 +1,153 @@
+"""Command-line interface for running reproduction experiments.
+
+Examples
+--------
+Run one attack/defense experiment at benchmark scale and print the metrics::
+
+    python -m repro run --dataset cifar-10 --attack dfa-g --defense bulyan
+
+Run a whole scenario (one table/figure) and save a CSV/JSON summary::
+
+    python -m repro scenario table2 --output results/table2
+
+List the available attacks, defenses, datasets and scenarios::
+
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .attacks import available_attacks
+from .data.synthetic import DATASET_FACTORIES
+from .defenses import available_defenses
+from .experiments import ExperimentRunner, benchmark_scale, paper_scale, scenarios, smoke_scale
+from .experiments.io import save_results, write_summary_csv
+from .utils import format_table
+
+__all__ = ["main", "build_parser"]
+
+_SCALES: Dict[str, Callable] = {
+    "smoke": smoke_scale,
+    "benchmark": benchmark_scale,
+    "paper": paper_scale,
+}
+
+_SCENARIOS: Dict[str, Callable] = {
+    "random-weights": scenarios.random_weights_motivation,
+    "table2": scenarios.table2_scenarios,
+    "fig4": scenarios.fig4_scenarios,
+    "fig5": scenarios.fig5_scenarios,
+    "fig6": scenarios.fig6_scenarios,
+    "fig7": scenarios.fig7_scenarios,
+    "table3": scenarios.table3_scenarios,
+    "table4": scenarios.table4_scenarios,
+    "fig8": scenarios.fig8_scenarios,
+    "fig9": scenarios.fig9_scenarios,
+    "fig10": scenarios.fig10_scenarios,
+    "set-size": scenarios.synthetic_set_size_scenarios,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Fabricated Flips: Poisoning Federated Learning without Data'",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser("run", help="run a single attack-vs-defense experiment")
+    run.add_argument("--dataset", default="fashion-mnist", choices=sorted(DATASET_FACTORIES))
+    run.add_argument("--attack", default=None, help="attack name (omit for a clean run)")
+    run.add_argument("--defense", default="fedavg", help="defense name")
+    run.add_argument("--scale", default="benchmark", choices=sorted(_SCALES))
+    run.add_argument("--beta", type=float, default=None, help="Dirichlet beta (omit for preset default)")
+    run.add_argument("--iid", action="store_true", help="use an i.i.d. split instead of Dirichlet")
+    run.add_argument("--rounds", type=int, default=None, help="override the number of rounds")
+    run.add_argument("--malicious-fraction", type=float, default=None)
+    run.add_argument("--seed", type=int, default=0)
+
+    scenario = subparsers.add_parser("scenario", help="run every experiment of one table/figure")
+    scenario.add_argument("name", choices=sorted(_SCENARIOS))
+    scenario.add_argument("--scale", default="benchmark", choices=sorted(_SCALES))
+    scenario.add_argument("--output", default=None, help="basename for .json/.csv result files")
+
+    subparsers.add_parser("list", help="list datasets, attacks, defenses and scenarios")
+    return parser
+
+
+def _run_single(args: argparse.Namespace) -> int:
+    scale = _SCALES[args.scale]
+    overrides = {"attack": args.attack, "defense": args.defense, "seed": args.seed}
+    if args.iid:
+        overrides["beta"] = None
+    elif args.beta is not None:
+        overrides["beta"] = args.beta
+    if args.rounds is not None:
+        overrides["num_rounds"] = args.rounds
+    if args.malicious_fraction is not None:
+        overrides["malicious_fraction"] = args.malicious_fraction
+    config = scale(args.dataset, **overrides)
+
+    runner = ExperimentRunner()
+    result = runner.run(config)
+    rows = [
+        ["clean accuracy acc (%)", 100.0 * (result.baseline_accuracy or 0.0)],
+        ["max accuracy under attack acc_m (%)", 100.0 * result.max_accuracy],
+        ["final accuracy (%)", 100.0 * result.final_accuracy],
+        ["attack success rate ASR (%)", result.asr],
+        ["defense pass rate DPR (%)", result.dpr],
+    ]
+    print(f"dataset={args.dataset} attack={args.attack} defense={args.defense} scale={args.scale}")
+    print(format_table(["metric", "value"], rows))
+    return 0
+
+
+def _run_scenario(args: argparse.Namespace) -> int:
+    scale = _SCALES[args.scale]
+    scenario_list = _SCENARIOS[args.name](scale)
+    runner = ExperimentRunner()
+    results = []
+    for label, config in scenario_list:
+        result = runner.run(config)
+        results.append((label, result))
+        print(
+            f"{label:45s} acc_m={100.0 * result.max_accuracy:5.1f}%  "
+            f"ASR={result.asr:6.1f}%  DPR={'N/A' if result.dpr is None else f'{result.dpr:.1f}%'}"
+        )
+    if args.output:
+        json_path = save_results(results, f"{args.output}.json")
+        csv_path = write_summary_csv(results, f"{args.output}.csv")
+        print(f"\nsaved {json_path} and {csv_path}")
+    return 0
+
+
+def _run_list(_: argparse.Namespace) -> int:
+    print("datasets:  " + ", ".join(sorted(DATASET_FACTORIES)))
+    print("attacks:   " + ", ".join(available_attacks()))
+    print("defenses:  " + ", ".join(available_defenses()))
+    print("scenarios: " + ", ".join(sorted(_SCENARIOS)))
+    print("scales:    " + ", ".join(sorted(_SCALES)))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "run":
+        return _run_single(args)
+    if args.command == "scenario":
+        return _run_scenario(args)
+    if args.command == "list":
+        return _run_list(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

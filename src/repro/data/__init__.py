@@ -1,0 +1,40 @@
+"""Datasets, partitioning and loading utilities for the FL simulation."""
+
+from .dataset import ArrayDataset, DataLoader, Subset, train_test_split
+from .partition import (
+    DirichletPartitioner,
+    IidPartitioner,
+    LabelSkewPartitioner,
+    Partitioner,
+    partition_dataset,
+)
+from .synthetic import (
+    DATASET_FACTORIES,
+    SyntheticImageSpec,
+    SyntheticImageTask,
+    cifar10_like,
+    fashion_mnist_like,
+    load_dataset,
+    make_synthetic_task,
+    svhn_like,
+)
+
+__all__ = [
+    "ArrayDataset",
+    "Subset",
+    "DataLoader",
+    "train_test_split",
+    "Partitioner",
+    "IidPartitioner",
+    "DirichletPartitioner",
+    "LabelSkewPartitioner",
+    "partition_dataset",
+    "SyntheticImageSpec",
+    "SyntheticImageTask",
+    "make_synthetic_task",
+    "fashion_mnist_like",
+    "cifar10_like",
+    "svhn_like",
+    "load_dataset",
+    "DATASET_FACTORIES",
+]

@@ -1,0 +1,155 @@
+"""In-memory dataset containers and mini-batch iteration.
+
+The FL simulation keeps every client's shard as an :class:`ArrayDataset`
+(or a :class:`Subset` view into one) and iterates over it with
+:class:`DataLoader`, mirroring the role of ``torch.utils.data`` in the
+original implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ArrayDataset", "Subset", "DataLoader", "train_test_split"]
+
+
+class ArrayDataset:
+    """Dataset backed by an image array and an integer label array.
+
+    Parameters
+    ----------
+    images:
+        Array of shape ``(N, C, H, W)``.
+    labels:
+        Integer array of shape ``(N,)``.
+    """
+
+    def __init__(self, images: np.ndarray, labels: np.ndarray) -> None:
+        images = np.asarray(images, dtype=np.float32)
+        labels = np.asarray(labels, dtype=np.int64)
+        if images.ndim != 4:
+            raise ValueError(f"expected images of shape (N, C, H, W), got {images.shape}")
+        if labels.ndim != 1:
+            raise ValueError(f"expected 1-D labels, got shape {labels.shape}")
+        if images.shape[0] != labels.shape[0]:
+            raise ValueError("images and labels must have the same length")
+        self.images = images
+        self.labels = labels
+
+    def __len__(self) -> int:
+        return self.images.shape[0]
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
+        return self.images[index], int(self.labels[index])
+
+    @property
+    def image_shape(self) -> Tuple[int, int, int]:
+        """Shape of a single image, ``(C, H, W)``."""
+        return tuple(self.images.shape[1:])
+
+    @property
+    def num_classes(self) -> int:
+        """Number of distinct classes (assumes labels in ``0..L-1``)."""
+        return int(self.labels.max()) + 1 if len(self) else 0
+
+    def class_counts(self, num_classes: Optional[int] = None) -> np.ndarray:
+        """Histogram of labels over ``num_classes`` bins."""
+        num_classes = num_classes or self.num_classes
+        return np.bincount(self.labels, minlength=num_classes)
+
+    def subset(self, indices: Sequence[int]) -> "Subset":
+        """Return a lightweight view of the selected samples."""
+        return Subset(self, indices)
+
+    def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return the full ``(images, labels)`` arrays."""
+        return self.images, self.labels
+
+
+class Subset:
+    """View of a subset of an :class:`ArrayDataset` given by indices."""
+
+    def __init__(self, dataset: ArrayDataset, indices: Sequence[int]) -> None:
+        self.dataset = dataset
+        self.indices = np.asarray(indices, dtype=np.int64)
+        if len(self.indices) and (
+            self.indices.min() < 0 or self.indices.max() >= len(dataset)
+        ):
+            raise IndexError("subset indices out of range")
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
+        return self.dataset[int(self.indices[index])]
+
+    @property
+    def image_shape(self) -> Tuple[int, int, int]:
+        """Shape of a single image, ``(C, H, W)``."""
+        return self.dataset.image_shape
+
+    def class_counts(self, num_classes: Optional[int] = None) -> np.ndarray:
+        """Histogram of labels of the subset."""
+        labels = self.dataset.labels[self.indices]
+        num_classes = num_classes or self.dataset.num_classes
+        return np.bincount(labels, minlength=num_classes)
+
+    def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Materialize the subset as ``(images, labels)`` arrays."""
+        return self.dataset.images[self.indices], self.dataset.labels[self.indices]
+
+
+class DataLoader:
+    """Mini-batch iterator over a dataset.
+
+    Iteration yields ``(images, labels)`` numpy array pairs.  Shuffling uses
+    the supplied :class:`numpy.random.Generator` so that experiments are
+    reproducible end to end.
+    """
+
+    def __init__(
+        self,
+        dataset,
+        batch_size: int = 32,
+        shuffle: bool = False,
+        rng: Optional[np.random.Generator] = None,
+        drop_last: bool = False,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch size must be positive")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = rng or np.random.default_rng()
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        images, labels = self.dataset.arrays()
+        order = np.arange(len(labels))
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, len(order), self.batch_size):
+            batch = order[start : start + self.batch_size]
+            if self.drop_last and len(batch) < self.batch_size:
+                break
+            yield images[batch], labels[batch]
+
+
+def train_test_split(
+    dataset: ArrayDataset, test_fraction: float, rng: np.random.Generator
+) -> Tuple[Subset, Subset]:
+    """Randomly split a dataset into train and test subsets."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    order = rng.permutation(len(dataset))
+    cut = int(round(len(dataset) * (1.0 - test_fraction)))
+    return dataset.subset(order[:cut]), dataset.subset(order[cut:])

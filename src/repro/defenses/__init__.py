@@ -1,0 +1,33 @@
+"""Server-side robust aggregation rules (defenses)."""
+
+from .adaptive_refd import AdaptiveRefd
+from .base import Defense, NoDefense
+from .bulyan import Bulyan
+from .foolsgold import FoolsGold
+from .krum import Krum, MultiKrum, krum_scores
+from .norm_clipping import NormClipping
+from .refd import DScoreReport, Refd, balance_value, confidence_value, d_score
+from .registry import DEFENSE_REGISTRY, available_defenses, build_defense
+from .statistics import Median, TrimmedMean
+
+__all__ = [
+    "Defense",
+    "NoDefense",
+    "Krum",
+    "MultiKrum",
+    "krum_scores",
+    "Bulyan",
+    "Median",
+    "TrimmedMean",
+    "FoolsGold",
+    "NormClipping",
+    "Refd",
+    "AdaptiveRefd",
+    "DScoreReport",
+    "balance_value",
+    "confidence_value",
+    "d_score",
+    "DEFENSE_REGISTRY",
+    "build_defense",
+    "available_defenses",
+]

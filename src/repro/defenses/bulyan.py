@@ -1,0 +1,76 @@
+"""Bulyan robust aggregation (El Mhamdi et al., ICML 2018).
+
+Bulyan runs Multi-Krum selection repeatedly to build a selection set and then
+applies a coordinate-wise trimmed mean over the selected updates.  It is the
+most aggressive of the paper's evaluated defenses, rejecting the largest
+number of updates per round.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..fl.aggregation import stack_updates
+from ..fl.types import AggregationResult, DefenseContext, ModelUpdate
+from .base import Defense
+from .krum import krum_scores
+
+__all__ = ["Bulyan"]
+
+
+class Bulyan(Defense):
+    """mKrum selection followed by a per-coordinate trimmed mean.
+
+    Parameters
+    ----------
+    selection_size:
+        Number of updates retained by the iterative Krum selection
+        (``theta`` in the original paper).  Defaults to ``n - 2f`` clipped to
+        a valid range.
+    trim:
+        Number of extreme values removed per coordinate on each side
+        (``beta``); defaults to ``f`` clipped so that at least one value
+        remains.
+    """
+
+    name = "bulyan"
+    selects_updates = True
+
+    def __init__(self, selection_size: int | None = None, trim: int | None = None) -> None:
+        self.selection_size = selection_size
+        self.trim = trim
+
+    def aggregate(
+        self, updates: Sequence[ModelUpdate], context: DefenseContext
+    ) -> AggregationResult:
+        self._validate(updates)
+        matrix = stack_updates(updates)
+        n = matrix.shape[0]
+        f = int(context.expected_num_malicious)
+        theta = self.selection_size if self.selection_size is not None else n - 2 * f
+        theta = int(np.clip(theta, 1, n))
+
+        # Iterative Krum selection: repeatedly pick the best-scoring update
+        # among the remaining ones.
+        remaining = list(range(n))
+        selected: List[int] = []
+        while len(selected) < theta and remaining:
+            sub_matrix = matrix[remaining]
+            scores = krum_scores(sub_matrix, f)
+            best_local = int(np.argmin(scores))
+            selected.append(remaining.pop(best_local))
+
+        selected_matrix = matrix[selected]
+        beta = self.trim if self.trim is not None else f
+        max_beta = (len(selected) - 1) // 2
+        beta = int(np.clip(beta, 0, max_beta))
+        if beta == 0:
+            aggregated = selected_matrix.mean(axis=0)
+        else:
+            ordered = np.sort(selected_matrix, axis=0)
+            aggregated = ordered[beta : len(selected) - beta].mean(axis=0)
+
+        accepted = [updates[i].client_id for i in selected]
+        return AggregationResult(new_params=aggregated, accepted_client_ids=accepted)

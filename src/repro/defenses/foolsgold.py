@@ -1,0 +1,77 @@
+"""FoolsGold Sybil defense (Fung et al., RAID 2020).
+
+FoolsGold down-weights groups of clients that submit suspiciously similar
+updates (as Sybils controlled by one adversary do), based on the pairwise
+cosine similarity of their historical aggregated updates.  It is included
+because the paper's related-work section discusses it as the canonical Sybil
+defense; the main evaluation uses mKrum, Bulyan, Median and Trimmed mean.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..fl.aggregation import stack_updates
+from ..fl.types import AggregationResult, DefenseContext, ModelUpdate
+from .base import Defense
+
+__all__ = ["FoolsGold"]
+
+
+class FoolsGold(Defense):
+    """Cosine-similarity based re-weighting of client contributions.
+
+    The defense keeps a running sum of each client's submitted updates
+    (relative to the global model) across rounds and computes the maximum
+    pairwise cosine similarity per client; highly similar clients receive
+    exponentially reduced aggregation weights.
+    """
+
+    name = "foolsgold"
+    selects_updates = False
+
+    def __init__(self, epsilon: float = 1e-5) -> None:
+        self.epsilon = epsilon
+        self._history: Dict[int, np.ndarray] = {}
+
+    def reset(self) -> None:
+        """Clear the accumulated per-client update history."""
+        self._history.clear()
+
+    def aggregate(
+        self, updates: Sequence[ModelUpdate], context: DefenseContext
+    ) -> AggregationResult:
+        self._validate(updates)
+        matrix = stack_updates(updates)
+        deltas = matrix - context.global_params[None, :]
+
+        # Update per-client aggregate history.
+        for update, delta in zip(updates, deltas):
+            previous = self._history.get(update.client_id)
+            self._history[update.client_id] = delta if previous is None else previous + delta
+
+        histories = np.stack([self._history[update.client_id] for update in updates], axis=0)
+        norms = np.linalg.norm(histories, axis=1, keepdims=True) + self.epsilon
+        normalized = histories / norms
+        similarity = normalized @ normalized.T
+        np.fill_diagonal(similarity, -np.inf)
+        max_similarity = similarity.max(axis=1)
+
+        # Pardoning and logit re-weighting from the original algorithm.
+        weights = 1.0 - np.clip(max_similarity, 0.0, 1.0)
+        weights = weights / (weights.max() + self.epsilon)
+        weights = np.clip(weights, self.epsilon, 1.0 - self.epsilon)
+        weights = np.log(weights / (1.0 - weights)) + 0.5
+        weights = np.clip(weights, 0.0, 1.0)
+        if weights.sum() <= 0:
+            weights = np.ones_like(weights)
+        weights = weights / weights.sum()
+
+        aggregated = context.global_params + (weights[:, None] * deltas).sum(axis=0)
+        return AggregationResult(
+            new_params=aggregated,
+            accepted_client_ids=None,
+            scores={u.client_id: float(w) for u, w in zip(updates, weights)},
+        )

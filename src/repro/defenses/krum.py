@@ -1,0 +1,97 @@
+"""Krum and Multi-Krum robust aggregation (Blanchard et al., NeurIPS 2017).
+
+Krum scores every update by the sum of squared L2 distances to its
+``n - f - 2`` nearest neighbours and keeps the update with the lowest score.
+Multi-Krum (mKrum) keeps the ``m`` lowest-scoring updates and averages them,
+interpolating between Krum and FedAvg.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..fl.aggregation import stack_updates, unweighted_average
+from ..fl.types import AggregationResult, DefenseContext, ModelUpdate
+from .base import Defense
+
+__all__ = ["Krum", "MultiKrum", "krum_scores"]
+
+
+def krum_scores(matrix: np.ndarray, num_malicious: int) -> np.ndarray:
+    """Krum score of each row of ``matrix`` (lower is more trustworthy).
+
+    Parameters
+    ----------
+    matrix:
+        ``(n, dim)`` matrix of flattened updates.
+    num_malicious:
+        The defense parameter ``f``: assumed number of malicious updates.
+    """
+    n = matrix.shape[0]
+    if n < 3:
+        # With fewer than three updates the neighbourhood is degenerate; fall
+        # back to distance-to-all scoring.
+        neighbourhood = max(n - 1, 1)
+    else:
+        neighbourhood = max(n - num_malicious - 2, 1)
+    # Pairwise squared distances via the Gram matrix.
+    squared_norms = (matrix ** 2).sum(axis=1)
+    distances = squared_norms[:, None] + squared_norms[None, :] - 2.0 * matrix @ matrix.T
+    np.fill_diagonal(distances, np.inf)
+    distances = np.maximum(distances, 0.0)
+    sorted_distances = np.sort(distances, axis=1)
+    return sorted_distances[:, :neighbourhood].sum(axis=1)
+
+
+class Krum(Defense):
+    """Select the single update with the lowest Krum score."""
+
+    name = "krum"
+    selects_updates = True
+
+    def aggregate(
+        self, updates: Sequence[ModelUpdate], context: DefenseContext
+    ) -> AggregationResult:
+        self._validate(updates)
+        matrix = stack_updates(updates)
+        scores = krum_scores(matrix, context.expected_num_malicious)
+        best = int(np.argmin(scores))
+        accepted = [updates[best].client_id]
+        return AggregationResult(
+            new_params=matrix[best].copy(),
+            accepted_client_ids=accepted,
+            scores={update.client_id: float(score) for update, score in zip(updates, scores)},
+        )
+
+
+class MultiKrum(Defense):
+    """Average the ``m`` updates with the lowest Krum scores (mKrum).
+
+    ``m`` defaults to ``n - f`` where ``f`` is the expected number of
+    malicious updates in the round, matching the original paper.
+    """
+
+    name = "mkrum"
+    selects_updates = True
+
+    def __init__(self, num_selected: int | None = None) -> None:
+        self.num_selected = num_selected
+
+    def aggregate(
+        self, updates: Sequence[ModelUpdate], context: DefenseContext
+    ) -> AggregationResult:
+        self._validate(updates)
+        matrix = stack_updates(updates)
+        n = matrix.shape[0]
+        m = self.num_selected if self.num_selected is not None else n - context.expected_num_malicious
+        m = int(np.clip(m, 1, n))
+        scores = krum_scores(matrix, context.expected_num_malicious)
+        chosen = np.argsort(scores)[:m]
+        accepted_updates = [updates[i] for i in chosen]
+        return AggregationResult(
+            new_params=unweighted_average(accepted_updates),
+            accepted_client_ids=[update.client_id for update in accepted_updates],
+            scores={update.client_id: float(score) for update, score in zip(updates, scores)},
+        )

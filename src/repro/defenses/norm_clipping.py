@@ -1,0 +1,61 @@
+"""Norm-clipping defense (norm bounding).
+
+A widely deployed production defense (discussed by Shejwalkar et al., S&P'22,
+which the paper cites in its threat-model discussion): every client's update
+delta is rescaled so that its L2 norm does not exceed a bound before FedAvg
+aggregation.  Included as an additional comparison point beyond the paper's
+four main defenses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..fl.types import AggregationResult, DefenseContext, ModelUpdate
+from .base import Defense
+
+__all__ = ["NormClipping"]
+
+
+class NormClipping(Defense):
+    """Clip each update's deviation from the global model to a norm bound.
+
+    Parameters
+    ----------
+    clip_norm:
+        Fixed L2 bound for the per-client delta ``w_i - w(t)``.  If ``None``,
+        the bound is set adaptively to the median delta norm of the round,
+        which requires no tuning and adapts to the training phase.
+    """
+
+    name = "norm-clipping"
+    selects_updates = False
+
+    def __init__(self, clip_norm: Optional[float] = None) -> None:
+        if clip_norm is not None and clip_norm <= 0:
+            raise ValueError("clip_norm must be positive")
+        self.clip_norm = clip_norm
+
+    def aggregate(
+        self, updates: Sequence[ModelUpdate], context: DefenseContext
+    ) -> AggregationResult:
+        self._validate(updates)
+        global_params = np.asarray(context.global_params, dtype=np.float64)
+        deltas = np.stack([update.parameters - global_params for update in updates])
+        norms = np.linalg.norm(deltas, axis=1)
+        bound = self.clip_norm if self.clip_norm is not None else float(np.median(norms))
+        if bound <= 0:
+            bound = 1e-12
+        scales = np.minimum(1.0, bound / np.maximum(norms, 1e-12))
+        clipped = deltas * scales[:, None]
+
+        weights = np.array([update.num_samples for update in updates], dtype=np.float64)
+        weights = weights / weights.sum()
+        aggregated_delta = (weights[:, None] * clipped).sum(axis=0)
+        return AggregationResult(
+            new_params=global_params + aggregated_delta,
+            accepted_client_ids=None,
+            scores={u.client_id: float(s) for u, s in zip(updates, scales)},
+        )

@@ -1,0 +1,157 @@
+"""REFD: the reference-dataset defense proposed in Section V of the paper.
+
+For every received update, the server loads the update into a model copy and
+runs inference on a small balanced reference dataset.  Two statistics are
+computed from the predictions:
+
+* the **balance value** ``B_i`` — the inverse standard deviation of the
+  per-class predicted-label counts (Eq. 6), which is low for updates biased
+  towards one class (DFA-G, LIE, Min-Max);
+* the **confidence value** ``V_i`` — the mean maximum softmax probability
+  over the reference set (Eq. 7), which is low for updates that produce
+  ambiguous predictions (DFA-R, Fang).
+
+They are combined into the F-beta-style **D-score** (Eq. 8) and the ``X``
+updates with the lowest D-scores are removed before FedAvg aggregation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..fl.aggregation import fedavg
+from ..fl.types import AggregationResult, DefenseContext, ModelUpdate
+from ..nn.serialization import set_flat_params
+from .base import Defense
+
+__all__ = ["Refd", "DScoreReport", "balance_value", "confidence_value", "d_score"]
+
+
+def balance_value(class_counts: np.ndarray) -> float:
+    """Balance value ``B_i`` (Eq. 6): inverse std of the predicted-label histogram."""
+    class_counts = np.asarray(class_counts, dtype=np.float64)
+    std = float(class_counts.std())
+    if std == 0.0:
+        return 1.0
+    return 1.0 / std
+
+
+def confidence_value(probabilities: np.ndarray) -> float:
+    """Confidence value ``V_i`` (Eq. 7): mean maximum class probability."""
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    if probabilities.ndim != 2:
+        raise ValueError("probabilities must be a (num_samples, num_classes) matrix")
+    return float(probabilities.max(axis=1).mean())
+
+
+def d_score(balance: float, confidence: float, alpha: float = 1.0) -> float:
+    """D-score (Eq. 8): F-beta style combination of balance and confidence."""
+    denominator = alpha ** 2 * balance + confidence
+    if denominator <= 0.0:
+        return 0.0
+    return (1.0 + alpha ** 2) * balance * confidence / denominator
+
+
+@dataclass
+class DScoreReport:
+    """Per-update diagnostic emitted by :class:`Refd` for analysis / tests."""
+
+    client_id: int
+    balance: float
+    confidence: float
+    score: float
+
+
+class Refd(Defense):
+    """Reference-dataset defense with D-score filtering.
+
+    Parameters
+    ----------
+    num_rejected:
+        ``X`` in the paper: how many of the lowest-scoring updates to drop
+        per round (the paper uses ``X = 2`` for 20% attackers and 10
+        selected clients).
+    alpha:
+        Weighting between balance and confidence value; the paper uses 1.
+    max_reference_samples:
+        Optional cap on the number of reference samples used per round to
+        bound the inference cost (Sec. V-C overhead analysis).
+    """
+
+    name = "refd"
+    selects_updates = True
+    requires_reference_dataset = True
+
+    def __init__(
+        self,
+        num_rejected: int = 2,
+        alpha: float = 1.0,
+        max_reference_samples: Optional[int] = None,
+    ) -> None:
+        if num_rejected < 0:
+            raise ValueError("num_rejected must be non-negative")
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        self.num_rejected = num_rejected
+        self.alpha = alpha
+        self.max_reference_samples = max_reference_samples
+        self.last_reports: List[DScoreReport] = []
+
+    # ------------------------------------------------------------------
+    def _reference_arrays(self, context: DefenseContext) -> Tuple[np.ndarray, np.ndarray]:
+        if context.reference_dataset is None:
+            raise ValueError("REFD requires a reference dataset on the server")
+        images, labels = context.reference_dataset.arrays()
+        if self.max_reference_samples is not None and len(labels) > self.max_reference_samples:
+            # Deterministic, class-stratified truncation keeps the reference
+            # set balanced, which Eq. 6 relies on.
+            order = np.argsort(labels, kind="stable")
+            stride = len(labels) / self.max_reference_samples
+            chosen = order[(np.arange(self.max_reference_samples) * stride).astype(int)]
+            images, labels = images[chosen], labels[chosen]
+        return images, labels
+
+    def score_update(
+        self, update: ModelUpdate, images: np.ndarray, context: DefenseContext
+    ) -> DScoreReport:
+        """Compute the D-score report of one update on the reference images."""
+        if context.model_factory is None:
+            raise ValueError("REFD requires a model factory to evaluate updates")
+        from ..fl.training import predict_proba  # local import to avoid cycles
+
+        model = context.model_factory()
+        set_flat_params(model, update.parameters)
+        probabilities = predict_proba(model, images)
+        num_classes = probabilities.shape[1]
+        predicted = probabilities.argmax(axis=1)
+        counts = np.bincount(predicted, minlength=num_classes)
+        balance = balance_value(counts)
+        confidence = confidence_value(probabilities)
+        return DScoreReport(
+            client_id=update.client_id,
+            balance=balance,
+            confidence=confidence,
+            score=d_score(balance, confidence, self.alpha),
+        )
+
+    def aggregate(
+        self, updates: Sequence[ModelUpdate], context: DefenseContext
+    ) -> AggregationResult:
+        self._validate(updates)
+        images, _ = self._reference_arrays(context)
+        reports = [self.score_update(update, images, context) for update in updates]
+        self.last_reports = reports
+
+        num_rejected = min(self.num_rejected, len(updates) - 1)
+        order = np.argsort([report.score for report in reports])
+        rejected = set(int(i) for i in order[:num_rejected])
+        accepted_updates = [u for i, u in enumerate(updates) if i not in rejected]
+        accepted_ids = [u.client_id for u in accepted_updates]
+        return AggregationResult(
+            new_params=fedavg(accepted_updates),
+            accepted_client_ids=accepted_ids,
+            scores={report.client_id: report.score for report in reports},
+        )

@@ -1,0 +1,43 @@
+"""Name-based construction of defenses, used by the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .adaptive_refd import AdaptiveRefd
+from .base import Defense, NoDefense
+from .bulyan import Bulyan
+from .foolsgold import FoolsGold
+from .krum import Krum, MultiKrum
+from .norm_clipping import NormClipping
+from .refd import Refd
+from .statistics import Median, TrimmedMean
+
+__all__ = ["DEFENSE_REGISTRY", "build_defense", "available_defenses"]
+
+DEFENSE_REGISTRY: Dict[str, Callable[..., Defense]] = {
+    "fedavg": NoDefense,
+    "none": NoDefense,
+    "krum": Krum,
+    "mkrum": MultiKrum,
+    "bulyan": Bulyan,
+    "median": Median,
+    "trmean": TrimmedMean,
+    "foolsgold": FoolsGold,
+    "norm-clipping": NormClipping,
+    "refd": Refd,
+    "adaptive-refd": AdaptiveRefd,
+}
+
+
+def available_defenses() -> List[str]:
+    """Sorted list of registered defense names."""
+    return sorted(DEFENSE_REGISTRY)
+
+
+def build_defense(name: str, **kwargs) -> Defense:
+    """Instantiate a defense by name, forwarding keyword arguments."""
+    key = name.lower()
+    if key not in DEFENSE_REGISTRY:
+        raise KeyError(f"unknown defense '{name}'; choose from {available_defenses()}")
+    return DEFENSE_REGISTRY[key](**kwargs)

@@ -1,0 +1,66 @@
+"""Coordinate-wise statistical defenses: Median and Trimmed mean (Yin et al., 2018).
+
+These defenses compute per-parameter statistics across all submitted updates
+and therefore do not accept or reject whole updates — the paper's defense
+pass rate (DPR) is undefined for them.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..fl.aggregation import stack_updates
+from ..fl.types import AggregationResult, DefenseContext, ModelUpdate
+from .base import Defense
+
+__all__ = ["Median", "TrimmedMean"]
+
+
+class Median(Defense):
+    """Coordinate-wise median of all submitted updates."""
+
+    name = "median"
+    selects_updates = False
+
+    def aggregate(
+        self, updates: Sequence[ModelUpdate], context: DefenseContext
+    ) -> AggregationResult:
+        self._validate(updates)
+        matrix = stack_updates(updates)
+        return AggregationResult(new_params=np.median(matrix, axis=0), accepted_client_ids=None)
+
+
+class TrimmedMean(Defense):
+    """Coordinate-wise trimmed mean (TRmean).
+
+    For every parameter, the ``trim_ratio`` largest and smallest values are
+    discarded before averaging.  The default trims ``f`` values on each side,
+    where ``f`` is the expected number of malicious updates.
+    """
+
+    name = "trmean"
+    selects_updates = False
+
+    def __init__(self, trim_ratio: float | None = None) -> None:
+        if trim_ratio is not None and not 0.0 <= trim_ratio < 0.5:
+            raise ValueError("trim_ratio must be in [0, 0.5)")
+        self.trim_ratio = trim_ratio
+
+    def aggregate(
+        self, updates: Sequence[ModelUpdate], context: DefenseContext
+    ) -> AggregationResult:
+        self._validate(updates)
+        matrix = stack_updates(updates)
+        n = matrix.shape[0]
+        if self.trim_ratio is not None:
+            trim = int(np.floor(self.trim_ratio * n))
+        else:
+            trim = int(context.expected_num_malicious)
+        trim = int(np.clip(trim, 0, (n - 1) // 2))
+        if trim == 0:
+            return AggregationResult(new_params=matrix.mean(axis=0), accepted_client_ids=None)
+        ordered = np.sort(matrix, axis=0)
+        trimmed = ordered[trim : n - trim]
+        return AggregationResult(new_params=trimmed.mean(axis=0), accepted_client_ids=None)

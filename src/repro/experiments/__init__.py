@@ -1,0 +1,24 @@
+"""Experiment harness: configuration, runner, scale presets, scenarios and I/O."""
+
+from .config import ExperimentConfig
+from .io import load_results, result_from_dict, result_to_dict, save_results, write_summary_csv
+from .presets import benchmark_scale, paper_scale, smoke_scale
+from .runner import ExperimentResult, ExperimentRunner, build_simulation, run_experiment
+from . import scenarios
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "build_simulation",
+    "run_experiment",
+    "benchmark_scale",
+    "smoke_scale",
+    "paper_scale",
+    "scenarios",
+    "result_to_dict",
+    "result_from_dict",
+    "save_results",
+    "load_results",
+    "write_summary_csv",
+]

@@ -1,0 +1,150 @@
+"""Serialization of experiment results to JSON and CSV.
+
+Long sweeps (the paper-scale reproduction in particular) should not have to
+keep everything in memory; these helpers persist
+:class:`~repro.experiments.runner.ExperimentResult` objects to disk in a
+plain, diff-friendly format and load them back for analysis.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+from ..fl.types import RoundRecord
+from .config import ExperimentConfig
+from .runner import ExperimentResult
+
+__all__ = [
+    "result_to_dict",
+    "result_from_dict",
+    "save_results",
+    "load_results",
+    "write_summary_csv",
+]
+
+PathLike = Union[str, Path]
+
+
+def _record_to_dict(record: RoundRecord) -> Dict:
+    return {
+        "round_number": record.round_number,
+        "selected_client_ids": list(record.selected_client_ids),
+        "selected_malicious_ids": list(record.selected_malicious_ids),
+        "accepted_client_ids": (
+            None if record.accepted_client_ids is None else list(record.accepted_client_ids)
+        ),
+        "accuracy": record.accuracy,
+        "test_loss": record.test_loss,
+        "num_malicious_passed": record.num_malicious_passed,
+        "attack_metadata": dict(record.attack_metadata),
+    }
+
+
+def _record_from_dict(data: Dict) -> RoundRecord:
+    return RoundRecord(
+        round_number=data["round_number"],
+        selected_client_ids=list(data["selected_client_ids"]),
+        selected_malicious_ids=list(data["selected_malicious_ids"]),
+        accepted_client_ids=(
+            None if data["accepted_client_ids"] is None else list(data["accepted_client_ids"])
+        ),
+        accuracy=data["accuracy"],
+        test_loss=data["test_loss"],
+        num_malicious_passed=data["num_malicious_passed"],
+        attack_metadata=dict(data.get("attack_metadata", {})),
+    )
+
+
+def result_to_dict(label: str, result: ExperimentResult) -> Dict:
+    """Convert one labelled result into a JSON-serializable dictionary."""
+    return {
+        "label": label,
+        "config": result.config.to_dict(),
+        "max_accuracy": result.max_accuracy,
+        "final_accuracy": result.final_accuracy,
+        "baseline_accuracy": result.baseline_accuracy,
+        "asr": result.asr,
+        "dpr": result.dpr,
+        "records": [_record_to_dict(record) for record in result.records],
+        "attack_synthesis_losses": [list(trace) for trace in result.attack_synthesis_losses],
+    }
+
+
+def result_from_dict(data: Dict) -> Tuple[str, ExperimentResult]:
+    """Inverse of :func:`result_to_dict`."""
+    config = ExperimentConfig(**data["config"])
+    result = ExperimentResult(
+        config=config,
+        records=[_record_from_dict(record) for record in data["records"]],
+        max_accuracy=data["max_accuracy"],
+        final_accuracy=data["final_accuracy"],
+        dpr=data["dpr"],
+        baseline_accuracy=data["baseline_accuracy"],
+        asr=data["asr"],
+        attack_synthesis_losses=[list(trace) for trace in data.get("attack_synthesis_losses", [])],
+    )
+    return data["label"], result
+
+
+def save_results(
+    results: Sequence[Tuple[str, ExperimentResult]], path: PathLike
+) -> Path:
+    """Write labelled results to a JSON file and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = [result_to_dict(label, result) for label, result in results]
+    path.write_text(json.dumps(payload, indent=2))
+    return path
+
+
+def load_results(path: PathLike) -> List[Tuple[str, ExperimentResult]]:
+    """Load labelled results previously written by :func:`save_results`."""
+    payload = json.loads(Path(path).read_text())
+    return [result_from_dict(entry) for entry in payload]
+
+
+def write_summary_csv(
+    results: Sequence[Tuple[str, ExperimentResult]], path: PathLike
+) -> Path:
+    """Write a one-row-per-experiment CSV summary (label, setup, metrics)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fields = [
+        "label",
+        "dataset",
+        "attack",
+        "defense",
+        "beta",
+        "malicious_fraction",
+        "num_rounds",
+        "baseline_accuracy",
+        "max_accuracy",
+        "final_accuracy",
+        "asr",
+        "dpr",
+    ]
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fields)
+        writer.writeheader()
+        for label, result in results:
+            config = result.config
+            writer.writerow(
+                {
+                    "label": label,
+                    "dataset": config.dataset,
+                    "attack": config.attack,
+                    "defense": config.defense,
+                    "beta": config.beta,
+                    "malicious_fraction": config.malicious_fraction,
+                    "num_rounds": config.num_rounds,
+                    "baseline_accuracy": result.baseline_accuracy,
+                    "max_accuracy": result.max_accuracy,
+                    "final_accuracy": result.final_accuracy,
+                    "asr": result.asr,
+                    "dpr": result.dpr,
+                }
+            )
+    return path

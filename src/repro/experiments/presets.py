@@ -1,0 +1,106 @@
+"""Scale presets: paper-scale and benchmark-scale experiment configurations.
+
+The benchmark harness in ``benchmarks/`` must regenerate every table and
+figure within a CI-friendly time budget, so it runs the *same* pipeline at a
+much smaller scale (fewer clients, rounds and images, smaller images and a
+compact CNN).  Paper-scale presets reproduce the sizes reported in
+Sec. IV-A and are intended for long-running offline reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .config import ExperimentConfig
+
+__all__ = ["benchmark_scale", "smoke_scale", "paper_scale"]
+
+_PAPER_TRAIN_SIZES = {
+    "fashion-mnist": 6000,  # 10% of the original 60 000 images
+    "cifar-10": 5000,  # 10% of the original 50 000 images
+    "svhn": 73257,  # full training set
+}
+
+_PAPER_TEST_SIZES = {
+    "fashion-mnist": 10000,
+    "cifar-10": 10000,
+    "svhn": 26032,
+}
+
+
+def benchmark_scale(dataset: str = "fashion-mnist", **overrides) -> ExperimentConfig:
+    """Scaled-down configuration used by the benchmark suite.
+
+    20 clients (8 sampled per round), 16×16 images, a compact two-convolution
+    CNN and five rounds: every algorithmic component of the paper's setup is
+    exercised, at a few seconds per experiment.
+    """
+    base = ExperimentConfig(
+        dataset=dataset,
+        train_size=overrides.pop("train_size", 400),
+        test_size=overrides.pop("test_size", 160),
+        image_size=overrides.pop("image_size", 16),
+        architecture=overrides.pop("architecture", "small-cnn"),
+        num_clients=overrides.pop("num_clients", 20),
+        clients_per_round=overrides.pop("clients_per_round", 8),
+        num_rounds=overrides.pop("num_rounds", 18),
+        malicious_fraction=overrides.pop("malicious_fraction", 0.2),
+        beta=overrides.pop("beta", 0.5),
+        local_epochs=overrides.pop("local_epochs", 1),
+        batch_size=overrides.pop("batch_size", 16),
+        learning_rate=overrides.pop("learning_rate", 0.25),
+        num_synthetic=overrides.pop("num_synthetic", 20),
+        synthesis_epochs=overrides.pop("synthesis_epochs", 4),
+    )
+    return base.with_overrides(**overrides)
+
+
+def smoke_scale(dataset: str = "fashion-mnist", **overrides) -> ExperimentConfig:
+    """Minimal configuration for unit tests (a couple of seconds end to end)."""
+    base = ExperimentConfig(
+        dataset=dataset,
+        train_size=overrides.pop("train_size", 96),
+        test_size=overrides.pop("test_size", 48),
+        image_size=overrides.pop("image_size", 12),
+        architecture=overrides.pop("architecture", "mlp"),
+        num_clients=overrides.pop("num_clients", 10),
+        clients_per_round=overrides.pop("clients_per_round", 5),
+        num_rounds=overrides.pop("num_rounds", 2),
+        malicious_fraction=overrides.pop("malicious_fraction", 0.2),
+        beta=overrides.pop("beta", 0.5),
+        batch_size=overrides.pop("batch_size", 16),
+        num_synthetic=overrides.pop("num_synthetic", 8),
+        synthesis_epochs=overrides.pop("synthesis_epochs", 2),
+    )
+    return base.with_overrides(**overrides)
+
+
+def paper_scale(dataset: str = "fashion-mnist", **overrides) -> ExperimentConfig:
+    """Configuration matching the sizes reported in Sec. IV-A of the paper.
+
+    100 clients, 10 sampled per round, 20% attackers, Dirichlet β = 0.5,
+    one local epoch, full-size images and the paper's per-dataset model.
+    Running these takes hours on CPU; they exist so that the repository can
+    reproduce the paper at full scale when the time budget allows.
+    """
+    key = dataset.lower()
+    base = ExperimentConfig(
+        dataset=dataset,
+        train_size=overrides.pop("train_size", _PAPER_TRAIN_SIZES.get(key, 6000)),
+        test_size=overrides.pop("test_size", _PAPER_TEST_SIZES.get(key, 10000)),
+        image_size=overrides.pop("image_size", None),
+        architecture=overrides.pop("architecture", None),
+        num_clients=overrides.pop("num_clients", 100),
+        clients_per_round=overrides.pop("clients_per_round", 10),
+        num_rounds=overrides.pop("num_rounds", 100),
+        malicious_fraction=overrides.pop("malicious_fraction", 0.2),
+        beta=overrides.pop("beta", 0.5),
+        local_epochs=overrides.pop("local_epochs", 1),
+        batch_size=overrides.pop("batch_size", 32),
+        learning_rate=overrides.pop("learning_rate", 0.05),
+        num_synthetic=overrides.pop("num_synthetic", 50),
+        synthesis_epochs=overrides.pop(
+            "synthesis_epochs", 5 if key == "fashion-mnist" else 10
+        ),
+    )
+    return base.with_overrides(**overrides)

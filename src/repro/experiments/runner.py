@@ -1,0 +1,168 @@
+"""Build and run experiments described by :class:`ExperimentConfig`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..attacks import DfaHyperParameters, build_attack
+from ..data.synthetic import load_dataset
+from ..defenses import build_defense
+from ..fl.simulation import FederatedSimulation, SimulationResult
+from ..fl.types import LocalTrainingConfig, RoundRecord
+from ..metrics import attack_success_rate, defense_pass_rate, max_accuracy
+from ..models import build_classifier_for_task, default_architecture_for_dataset
+from .config import ExperimentConfig
+
+__all__ = ["ExperimentResult", "ExperimentRunner", "build_simulation", "run_experiment"]
+
+_DFA_ATTACKS = {"dfa-r", "dfa-g", "dfa-hybrid", "real-data"}
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment plus the paper's derived metrics."""
+
+    config: ExperimentConfig
+    records: List[RoundRecord]
+    max_accuracy: float
+    final_accuracy: float
+    dpr: Optional[float]
+    baseline_accuracy: Optional[float] = None
+    asr: Optional[float] = None
+    attack_synthesis_losses: List[List[float]] = field(default_factory=list)
+
+    @property
+    def accuracies(self) -> List[float]:
+        """Per-round global accuracy trace."""
+        return [record.accuracy for record in self.records]
+
+
+def _attack_kwargs_for(config: ExperimentConfig) -> Dict:
+    """Assemble constructor kwargs for the configured attack."""
+    kwargs = dict(config.attack_kwargs)
+    if config.attack and config.attack.lower() in _DFA_ATTACKS and "hyper" not in kwargs:
+        kwargs["hyper"] = DfaHyperParameters(
+            num_synthetic=config.num_synthetic,
+            synthesis_epochs=config.synthesis_epochs,
+            synthesis_lr=config.synthesis_lr,
+            train_synthesizer=config.train_synthesizer,
+            use_regularization=config.use_regularization,
+            regularization_weight=config.regularization_weight,
+        )
+    return kwargs
+
+
+def build_simulation(config: ExperimentConfig) -> FederatedSimulation:
+    """Construct the simulation (task, model factory, attack, defense) for a config."""
+    task = load_dataset(
+        config.dataset,
+        train_size=config.train_size,
+        test_size=config.test_size,
+        seed=config.dataset_seed,
+        image_size=config.image_size,
+    )
+    architecture = config.architecture or default_architecture_for_dataset(config.dataset)
+
+    def model_factory():
+        return build_classifier_for_task(task, architecture=architecture, seed=config.seed)
+
+    attack = build_attack(config.attack, **_attack_kwargs_for(config))
+    defense = build_defense(config.defense, **config.defense_kwargs)
+    training_config = LocalTrainingConfig(
+        local_epochs=config.local_epochs,
+        batch_size=config.batch_size,
+        learning_rate=config.learning_rate,
+        momentum=config.momentum,
+    )
+    return FederatedSimulation(
+        task=task,
+        model_factory=model_factory,
+        num_clients=config.num_clients,
+        clients_per_round=config.clients_per_round,
+        malicious_fraction=config.malicious_fraction,
+        beta=config.beta,
+        attack=attack,
+        defense=defense,
+        training_config=training_config,
+        reference_fraction=config.reference_fraction,
+        assumed_malicious_fraction=config.assumed_malicious_fraction,
+        seed=config.seed,
+    )
+
+
+def run_experiment(
+    config: ExperimentConfig, baseline_accuracy: Optional[float] = None
+) -> ExperimentResult:
+    """Run one experiment and compute accuracy / ASR / DPR.
+
+    ``baseline_accuracy`` is the clean accuracy ``acc`` used by Eq. 4; when
+    omitted, ASR is left as ``None`` (use :class:`ExperimentRunner` to manage
+    baselines automatically).
+    """
+    simulation = build_simulation(config)
+    result = simulation.run(config.num_rounds)
+    synthesis_losses: List[List[float]] = []
+    if simulation.attack is not None:
+        synthesis_losses = list(getattr(simulation.attack, "synthesis_loss_history", []))
+    experiment = ExperimentResult(
+        config=config,
+        records=result.records,
+        max_accuracy=result.max_accuracy,
+        final_accuracy=result.final_accuracy,
+        dpr=defense_pass_rate(result.records),
+        baseline_accuracy=baseline_accuracy,
+        attack_synthesis_losses=synthesis_losses,
+    )
+    if baseline_accuracy is not None and baseline_accuracy > 0:
+        experiment.asr = attack_success_rate(baseline_accuracy, experiment.max_accuracy)
+    return experiment
+
+
+class ExperimentRunner:
+    """Runs batches of experiments, caching clean baselines per dataset setup.
+
+    Every attacked experiment needs the matching clean accuracy ``acc``
+    (no attack, no defense) to compute ASR; since many experiments in a sweep
+    share the same dataset/federation settings, the runner caches those
+    baseline runs.
+    """
+
+    def __init__(self) -> None:
+        self._baseline_cache: Dict[Tuple, float] = {}
+        self._result_cache: Dict[str, ExperimentResult] = {}
+
+    @staticmethod
+    def _config_key(config: ExperimentConfig) -> str:
+        return repr(sorted(config.to_dict().items(), key=lambda item: item[0]))
+
+    def baseline_accuracy(self, config: ExperimentConfig) -> float:
+        """Clean-run accuracy ``acc`` for the given configuration (cached)."""
+        key = config.baseline_key()
+        if key not in self._baseline_cache:
+            clean = config.clean_variant()
+            result = run_experiment(clean)
+            self._baseline_cache[key] = result.max_accuracy
+        return self._baseline_cache[key]
+
+    def run(self, config: ExperimentConfig, use_cache: bool = True) -> ExperimentResult:
+        """Run one experiment with its ASR computed against the cached baseline.
+
+        Identical configurations are only executed once per runner instance;
+        benchmark sweeps that share scenarios (e.g. Table II and Fig. 4 reuse
+        the same β = 0.5 runs) therefore do not repeat work.
+        """
+        key = self._config_key(config)
+        if use_cache and key in self._result_cache:
+            return self._result_cache[key]
+        baseline = self.baseline_accuracy(config)
+        result = run_experiment(config, baseline_accuracy=baseline)
+        if use_cache:
+            self._result_cache[key] = result
+        return result
+
+    def run_many(self, configs: List[ExperimentConfig]) -> List[ExperimentResult]:
+        """Run a list of experiments sequentially."""
+        return [self.run(config) for config in configs]

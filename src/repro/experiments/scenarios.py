@@ -1,0 +1,241 @@
+"""Scenario generators: one function per table / figure of the paper.
+
+Each function returns a list of ``(label, ExperimentConfig)`` pairs that,
+when run through :class:`~repro.experiments.runner.ExperimentRunner`,
+regenerate the corresponding rows or series.  The ``scale`` argument is a
+preset factory (``benchmark_scale``, ``paper_scale`` or a custom callable
+with the same signature), so the same scenario definitions drive both the
+fast benchmark harness and full-scale reproduction runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .config import ExperimentConfig
+from .presets import benchmark_scale
+
+__all__ = [
+    "PAPER_ATTACKS",
+    "PAPER_DEFENSES",
+    "PAPER_DATASETS",
+    "Scenario",
+    "random_weights_motivation",
+    "table2_scenarios",
+    "fig4_scenarios",
+    "fig5_scenarios",
+    "fig6_scenarios",
+    "fig7_scenarios",
+    "table3_scenarios",
+    "table4_scenarios",
+    "fig8_scenarios",
+    "fig9_scenarios",
+    "fig10_scenarios",
+    "synthetic_set_size_scenarios",
+]
+
+#: The five attacks compared in Table II / Figs. 4-6 (our two plus baselines).
+PAPER_ATTACKS: Tuple[str, ...] = ("fang", "lie", "min-max", "dfa-r", "dfa-g")
+#: The four state-of-the-art defenses of the main evaluation.
+PAPER_DEFENSES: Tuple[str, ...] = ("mkrum", "bulyan", "trmean", "median")
+#: The three image classification benchmarks.
+PAPER_DATASETS: Tuple[str, ...] = ("fashion-mnist", "cifar-10", "svhn")
+
+ScaleFn = Callable[..., ExperimentConfig]
+Scenario = Tuple[str, ExperimentConfig]
+
+
+def _label(*parts: object) -> str:
+    return "/".join(str(part) for part in parts)
+
+
+def random_weights_motivation(
+    scale: ScaleFn = benchmark_scale,
+    datasets: Sequence[str] = ("fashion-mnist", "cifar-10"),
+) -> List[Scenario]:
+    """Sec. III-B motivation: random model weights against mKrum and Bulyan."""
+    scenarios: List[Scenario] = []
+    for dataset in datasets:
+        for defense in ("mkrum", "bulyan"):
+            config = scale(dataset, attack="random-weights", defense=defense)
+            scenarios.append((_label(dataset, defense, "random-weights"), config))
+    return scenarios
+
+
+def table2_scenarios(
+    scale: ScaleFn = benchmark_scale,
+    datasets: Sequence[str] = PAPER_DATASETS,
+    attacks: Sequence[str] = PAPER_ATTACKS,
+    defenses: Sequence[str] = PAPER_DEFENSES,
+) -> List[Scenario]:
+    """Table II: ASR of the five attacks under the four defenses (β = 0.5)."""
+    scenarios: List[Scenario] = []
+    for dataset in datasets:
+        for defense in defenses:
+            for attack in attacks:
+                config = scale(dataset, attack=attack, defense=defense, beta=0.5)
+                scenarios.append((_label(dataset, defense, attack), config))
+    return scenarios
+
+
+def fig4_scenarios(
+    scale: ScaleFn = benchmark_scale,
+    datasets: Sequence[str] = PAPER_DATASETS,
+    attacks: Sequence[str] = PAPER_ATTACKS,
+) -> List[Scenario]:
+    """Fig. 4: DPR of the five attacks; only the update-selecting defenses."""
+    return table2_scenarios(scale, datasets=datasets, attacks=attacks, defenses=("mkrum", "bulyan"))
+
+
+def fig5_scenarios(
+    scale: ScaleFn = benchmark_scale,
+    datasets: Sequence[str] = ("fashion-mnist", "cifar-10"),
+    attacks: Sequence[str] = PAPER_ATTACKS,
+    betas: Sequence[float] = (0.1, 0.5, 0.9),
+) -> List[Scenario]:
+    """Fig. 5: ASR vs data heterogeneity under the Bulyan defense."""
+    scenarios: List[Scenario] = []
+    for dataset in datasets:
+        for beta in betas:
+            for attack in attacks:
+                config = scale(dataset, attack=attack, defense="bulyan", beta=beta)
+                scenarios.append((_label(dataset, f"beta={beta}", attack), config))
+    return scenarios
+
+
+def fig6_scenarios(
+    scale: ScaleFn = benchmark_scale,
+    attacks: Sequence[str] = PAPER_ATTACKS,
+    fractions: Sequence[float] = (0.1, 0.2, 0.3),
+    defenses: Sequence[str] = ("mkrum", "trmean"),
+) -> List[Scenario]:
+    """Fig. 6: ASR vs attacker fraction on Fashion-MNIST (mKrum, TRmean)."""
+    scenarios: List[Scenario] = []
+    for defense in defenses:
+        for fraction in fractions:
+            for attack in attacks:
+                config = scale(
+                    "fashion-mnist",
+                    attack=attack,
+                    defense=defense,
+                    malicious_fraction=fraction,
+                )
+                scenarios.append((_label(defense, f"attackers={fraction:.0%}", attack), config))
+    return scenarios
+
+
+def fig7_scenarios(
+    scale: ScaleFn = benchmark_scale,
+    defenses: Sequence[str] = PAPER_DEFENSES,
+) -> List[Scenario]:
+    """Fig. 7: local synthesis-loss convergence of DFA-R / DFA-G (Fashion-MNIST)."""
+    scenarios: List[Scenario] = []
+    for attack in ("dfa-r", "dfa-g"):
+        for defense in defenses:
+            config = scale("fashion-mnist", attack=attack, defense=defense)
+            scenarios.append((_label(attack, defense), config))
+    return scenarios
+
+
+def table3_scenarios(
+    scale: ScaleFn = benchmark_scale,
+    datasets: Sequence[str] = ("fashion-mnist", "cifar-10"),
+    defenses: Sequence[str] = PAPER_DEFENSES,
+) -> List[Scenario]:
+    """Table III: static (untrained) vs trained synthetic-data generation."""
+    scenarios: List[Scenario] = []
+    for dataset in datasets:
+        for attack in ("dfa-r", "dfa-g"):
+            for defense in defenses:
+                for trained in (False, True):
+                    mode = "trained" if trained else "static"
+                    config = scale(
+                        dataset, attack=attack, defense=defense, train_synthesizer=trained
+                    )
+                    scenarios.append((_label(dataset, attack, defense, mode), config))
+    return scenarios
+
+
+def table4_scenarios(
+    scale: ScaleFn = benchmark_scale,
+    defenses: Sequence[str] = PAPER_DEFENSES,
+) -> List[Scenario]:
+    """Table IV: ablation of the distance-based regularization (Fashion-MNIST)."""
+    scenarios: List[Scenario] = []
+    for attack in ("dfa-r", "dfa-g"):
+        for defense in defenses:
+            for regularized in (False, True):
+                mode = "with-reg" if regularized else "without-reg"
+                config = scale(
+                    "fashion-mnist",
+                    attack=attack,
+                    defense=defense,
+                    use_regularization=regularized,
+                )
+                scenarios.append((_label(attack, defense, mode), config))
+    return scenarios
+
+
+def fig8_scenarios(
+    scale: ScaleFn = benchmark_scale,
+    datasets: Sequence[str] = ("fashion-mnist", "cifar-10"),
+    defenses: Sequence[str] = PAPER_DEFENSES,
+) -> List[Scenario]:
+    """Fig. 8: synthetic (DFA-R / DFA-G) vs real attacker data."""
+    scenarios: List[Scenario] = []
+    for dataset in datasets:
+        for defense in defenses:
+            for attack in ("dfa-r", "dfa-g", "real-data"):
+                config = scale(dataset, attack=attack, defense=defense)
+                scenarios.append((_label(dataset, defense, attack), config))
+    return scenarios
+
+
+def fig9_scenarios(
+    scale: ScaleFn = benchmark_scale,
+    datasets: Sequence[str] = ("fashion-mnist", "cifar-10"),
+    betas: Sequence[Optional[float]] = (None, 0.9, 0.5, 0.1),
+) -> List[Scenario]:
+    """Fig. 9: REFD vs Bulyan accuracy across heterogeneity levels under DFA."""
+    scenarios: List[Scenario] = []
+    for dataset in datasets:
+        for attack in ("dfa-r", "dfa-g"):
+            for beta in betas:
+                beta_label = "iid" if beta is None else f"beta={beta}"
+                for defense in ("refd", "bulyan"):
+                    config = scale(dataset, attack=attack, defense=defense, beta=beta)
+                    scenarios.append((_label(dataset, attack, beta_label, defense), config))
+    return scenarios
+
+
+def fig10_scenarios(
+    scale: ScaleFn = benchmark_scale,
+    datasets: Sequence[str] = ("fashion-mnist", "cifar-10"),
+    attacks: Sequence[str] = PAPER_ATTACKS,
+    defenses: Sequence[str] = ("mkrum", "bulyan", "trmean", "median", "refd"),
+) -> List[Scenario]:
+    """Fig. 10: accuracy of all defenses (including REFD) against all attacks."""
+    scenarios: List[Scenario] = []
+    for dataset in datasets:
+        for attack in attacks:
+            for defense in defenses:
+                config = scale(dataset, attack=attack, defense=defense)
+                scenarios.append((_label(dataset, attack, defense), config))
+    return scenarios
+
+
+def synthetic_set_size_scenarios(
+    scale: ScaleFn = benchmark_scale,
+    sizes: Sequence[int] = (20, 50, 100),
+    defenses: Sequence[str] = ("mkrum",),
+) -> List[Scenario]:
+    """Sec. IV-A sensitivity study: ASR across the synthetic set size |S|."""
+    scenarios: List[Scenario] = []
+    for attack in ("dfa-r", "dfa-g"):
+        for defense in defenses:
+            for size in sizes:
+                config = scale(
+                    "fashion-mnist", attack=attack, defense=defense, num_synthetic=size
+                )
+                scenarios.append((_label(attack, defense, f"S={size}"), config))
+    return scenarios

@@ -1,0 +1,40 @@
+"""Plain (attack-oblivious) aggregation rules.
+
+Robust aggregation rules live in :mod:`repro.defenses`; this module only
+contains the weighted FedAvg of Eq. (2), which both the undefended baseline
+and several defenses reuse after selecting a subset of updates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from .types import ModelUpdate
+
+__all__ = ["fedavg", "unweighted_average", "stack_updates"]
+
+
+def stack_updates(updates: Sequence[ModelUpdate]) -> np.ndarray:
+    """Stack update parameter vectors into a ``(num_updates, dim)`` matrix."""
+    if not updates:
+        raise ValueError("cannot stack an empty list of updates")
+    dim = updates[0].parameters.size
+    for update in updates:
+        if update.parameters.size != dim:
+            raise ValueError("all updates must have the same number of parameters")
+    return np.stack([update.parameters for update in updates], axis=0)
+
+
+def fedavg(updates: Sequence[ModelUpdate]) -> np.ndarray:
+    """Sample-count weighted average of local models (Eq. 2 of the paper)."""
+    matrix = stack_updates(updates)
+    weights = np.array([update.num_samples for update in updates], dtype=np.float64)
+    weights = weights / weights.sum()
+    return (weights[:, None] * matrix).sum(axis=0)
+
+
+def unweighted_average(updates: Sequence[ModelUpdate]) -> np.ndarray:
+    """Simple mean of local models (used after Krum-style selection)."""
+    return stack_updates(updates).mean(axis=0)

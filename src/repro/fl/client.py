@@ -1,0 +1,58 @@
+"""Client-side behaviour: benign local training.
+
+Malicious behaviour is *not* implemented here — per the paper's threat model
+all adversarial computation happens at a single adversary (see
+:mod:`repro.attacks`), which then hands the crafted update to each of its
+selected Sybil clients.  The simulation therefore only needs benign clients
+plus a record of which client ids the adversary controls.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..nn.modules import Module
+from ..nn.serialization import get_flat_params, set_flat_params
+from .training import train_local_model
+from .types import LocalTrainingConfig, ModelUpdate
+
+__all__ = ["BenignClient"]
+
+
+class BenignClient:
+    """A protocol-following participant that trains on its own local shard."""
+
+    def __init__(
+        self,
+        client_id: int,
+        dataset,
+        model_factory: Callable[[], Module],
+        config: LocalTrainingConfig,
+        seed: int = 0,
+    ) -> None:
+        if len(dataset) == 0:
+            raise ValueError(f"client {client_id} received an empty data shard")
+        self.client_id = client_id
+        self.dataset = dataset
+        self.model_factory = model_factory
+        self.config = config
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def num_samples(self) -> int:
+        """Number of local training samples (the FedAvg weight n_i)."""
+        return len(self.dataset)
+
+    def local_update(self, global_params: np.ndarray, round_number: int) -> ModelUpdate:
+        """Train a fresh local model initialised from the global parameters."""
+        model = self.model_factory()
+        set_flat_params(model, global_params)
+        train_local_model(model, self.dataset, self.config, self._rng)
+        return ModelUpdate(
+            client_id=self.client_id,
+            parameters=get_flat_params(model),
+            num_samples=self.num_samples,
+            is_malicious=False,
+        )

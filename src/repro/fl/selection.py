@@ -1,0 +1,53 @@
+"""Per-round client selection strategies.
+
+The paper samples 10 of 100 available clients uniformly at random each round
+(cross-device FL).  A deterministic round-robin selector is also provided for
+tests that need full control over which clients participate.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["ClientSelector", "UniformSelector", "RoundRobinSelector"]
+
+
+class ClientSelector:
+    """Base class: chooses which client ids participate in a round."""
+
+    def select(
+        self, client_ids: Sequence[int], num_selected: int, rng: np.random.Generator
+    ) -> List[int]:
+        """Return the ids of the clients participating this round."""
+        raise NotImplementedError
+
+
+class UniformSelector(ClientSelector):
+    """Uniformly random selection without replacement (the paper's setting)."""
+
+    def select(
+        self, client_ids: Sequence[int], num_selected: int, rng: np.random.Generator
+    ) -> List[int]:
+        if num_selected > len(client_ids):
+            raise ValueError("cannot select more clients than exist")
+        chosen = rng.choice(np.asarray(client_ids), size=num_selected, replace=False)
+        return sorted(int(c) for c in chosen)
+
+
+class RoundRobinSelector(ClientSelector):
+    """Deterministic cyclic selection, useful for reproducible unit tests."""
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def select(
+        self, client_ids: Sequence[int], num_selected: int, rng: np.random.Generator
+    ) -> List[int]:
+        if num_selected > len(client_ids):
+            raise ValueError("cannot select more clients than exist")
+        ids = list(client_ids)
+        chosen = [ids[(self._cursor + offset) % len(ids)] for offset in range(num_selected)]
+        self._cursor = (self._cursor + num_selected) % len(ids)
+        return sorted(chosen)

@@ -1,0 +1,71 @@
+"""The central FL server: holds the global model and applies the defense."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..defenses.base import Defense, NoDefense
+from ..nn.modules import Module
+from ..nn.serialization import get_flat_params, set_flat_params
+from .training import evaluate_model
+from .types import AggregationResult, DefenseContext, ModelUpdate
+
+__all__ = ["Server"]
+
+
+class Server:
+    """Central aggregator of the federated system.
+
+    The server owns the global model, distributes its parameters each round,
+    applies the configured defense to the received updates and keeps the two
+    most recent global parameter vectors (the attack's regularizer and some
+    defenses reason about ``w(t)`` and ``w(t-1)``).
+    """
+
+    def __init__(
+        self,
+        model_factory: Callable[[], Module],
+        defense: Optional[Defense] = None,
+        expected_num_malicious: int = 2,
+        reference_dataset=None,
+        seed: int = 0,
+    ) -> None:
+        self.model_factory = model_factory
+        self.defense = defense or NoDefense()
+        self.expected_num_malicious = expected_num_malicious
+        self.reference_dataset = reference_dataset
+        self._rng = np.random.default_rng(seed)
+        self.global_model = model_factory()
+        self.global_params = get_flat_params(self.global_model)
+        self.previous_global_params: Optional[np.ndarray] = None
+        self.round_number = 0
+
+    # ------------------------------------------------------------------
+    def distribute(self) -> np.ndarray:
+        """Parameters sent to clients at the start of a round."""
+        return self.global_params.copy()
+
+    def aggregate(self, updates: Sequence[ModelUpdate]) -> AggregationResult:
+        """Apply the defense to the received updates and install the result."""
+        if not updates:
+            raise ValueError("server received no updates this round")
+        context = DefenseContext(
+            round_number=self.round_number,
+            global_params=self.global_params,
+            expected_num_malicious=self.expected_num_malicious,
+            rng=self._rng,
+            model_factory=self.model_factory,
+            reference_dataset=self.reference_dataset,
+        )
+        result = self.defense.aggregate(list(updates), context)
+        self.previous_global_params = self.global_params
+        self.global_params = np.asarray(result.new_params, dtype=np.float64)
+        set_flat_params(self.global_model, self.global_params)
+        self.round_number += 1
+        return result
+
+    def evaluate(self, dataset, batch_size: int = 128) -> Tuple[float, float]:
+        """Accuracy and loss of the current global model on ``dataset``."""
+        return evaluate_model(self.global_model, dataset, batch_size=batch_size)

@@ -1,0 +1,264 @@
+"""End-to-end federated learning simulation with optional attack and defense.
+
+:class:`FederatedSimulation` wires together the dataset partitioning, benign
+clients, the single adversary (an :class:`~repro.attacks.base.Attack`
+instance controlling a fraction of the client ids), the server and the
+defense, and produces the per-round records from which the paper's metrics
+(accuracy, ASR, DPR) are computed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..data.partition import partition_dataset
+from ..data.synthetic import SyntheticImageTask
+from ..defenses.base import Defense, NoDefense
+from ..nn.modules import Module
+from .client import BenignClient
+from .selection import ClientSelector, UniformSelector
+from .server import Server
+from .types import AttackRoundContext, LocalTrainingConfig, ModelUpdate, RoundRecord
+
+__all__ = ["FederatedSimulation", "SimulationResult"]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of a complete simulation run."""
+
+    records: List[RoundRecord]
+    final_params: np.ndarray
+    malicious_client_ids: List[int]
+
+    @property
+    def accuracies(self) -> List[float]:
+        """Global-model accuracy after every round."""
+        return [record.accuracy for record in self.records]
+
+    @property
+    def max_accuracy(self) -> float:
+        """The paper's ``acc_m``: best global accuracy reached during the run."""
+        return max(self.accuracies) if self.records else 0.0
+
+    @property
+    def final_accuracy(self) -> float:
+        """Accuracy after the last round."""
+        return self.accuracies[-1] if self.records else 0.0
+
+
+class FederatedSimulation:
+    """Cross-device FL simulation following the paper's experimental setup.
+
+    Parameters
+    ----------
+    task:
+        The dataset task (train/test split plus metadata).
+    model_factory:
+        Zero-argument callable building a fresh classifier; all clients and
+        the server share the architecture.
+    num_clients, clients_per_round:
+        Total client population and the number sampled per round
+        (100 and 10 in the paper).
+    malicious_fraction:
+        Fraction of the client population controlled by the adversary
+        (0.2 in the main experiments; 0.1 and 0.3 in Fig. 6).
+    beta:
+        Dirichlet heterogeneity parameter; ``None`` yields an i.i.d. split.
+    attack, defense:
+        The adversary's strategy (``None`` disables the attack) and the
+        server's aggregation rule (``None`` means plain FedAvg).
+    reference_fraction:
+        Fraction of the *test* split handed to the server as the REFD
+        reference dataset (the remaining samples are used for evaluation to
+        avoid leakage).  Only relevant when the defense needs it.
+    """
+
+    def __init__(
+        self,
+        task: SyntheticImageTask,
+        model_factory: Callable[[], Module],
+        num_clients: int = 100,
+        clients_per_round: int = 10,
+        malicious_fraction: float = 0.2,
+        beta: Optional[float] = 0.5,
+        attack=None,
+        defense: Optional[Defense] = None,
+        training_config: Optional[LocalTrainingConfig] = None,
+        selector: Optional[ClientSelector] = None,
+        reference_fraction: float = 0.5,
+        assumed_malicious_fraction: Optional[float] = None,
+        eval_batch_size: int = 256,
+        seed: int = 0,
+    ) -> None:
+        if num_clients < 2:
+            raise ValueError("need at least two clients")
+        if not 1 <= clients_per_round <= num_clients:
+            raise ValueError("clients_per_round must be in [1, num_clients]")
+        if not 0.0 <= malicious_fraction < 1.0:
+            raise ValueError("malicious_fraction must be in [0, 1)")
+        self.task = task
+        self.model_factory = model_factory
+        self.num_clients = num_clients
+        self.clients_per_round = clients_per_round
+        self.malicious_fraction = malicious_fraction
+        self.beta = beta
+        self.attack = attack
+        self.training_config = training_config or LocalTrainingConfig()
+        self.selector = selector or UniformSelector()
+        self.eval_batch_size = eval_batch_size
+        self._rng = np.random.default_rng(seed)
+
+        self._partition_clients(seed)
+
+        assumed = (
+            assumed_malicious_fraction
+            if assumed_malicious_fraction is not None
+            else malicious_fraction
+        )
+        expected_malicious = int(round(assumed * clients_per_round))
+        defense = defense or NoDefense()
+        reference_dataset, eval_dataset = self._split_reference(defense, reference_fraction)
+        self.eval_dataset = eval_dataset
+        self.server = Server(
+            model_factory=model_factory,
+            defense=defense,
+            expected_num_malicious=max(expected_malicious, 1),
+            reference_dataset=reference_dataset,
+            seed=seed + 17,
+        )
+
+    # ------------------------------------------------------------------
+    # Setup helpers
+    # ------------------------------------------------------------------
+    def _partition_clients(self, seed: int) -> None:
+        partition_rng = np.random.default_rng(seed + 1)
+        shards = partition_dataset(
+            self.task.train, self.num_clients, beta=self.beta, rng=partition_rng
+        )
+        num_malicious = int(round(self.malicious_fraction * self.num_clients))
+        all_ids = list(range(self.num_clients))
+        malicious_ids = partition_rng.choice(
+            np.asarray(all_ids), size=num_malicious, replace=False
+        )
+        self.malicious_client_ids = sorted(int(i) for i in malicious_ids)
+        malicious_set = set(self.malicious_client_ids)
+
+        self.benign_clients: Dict[int, BenignClient] = {}
+        self.attacker_datasets: Dict[int, object] = {}
+        for client_id, shard in enumerate(shards):
+            if client_id in malicious_set:
+                # The adversary's clients do not use real data (data-free
+                # threat model); their shards are kept only for attacks that
+                # explicitly require attacker data (Fig. 8 comparator).
+                self.attacker_datasets[client_id] = shard
+            else:
+                self.benign_clients[client_id] = BenignClient(
+                    client_id=client_id,
+                    dataset=shard,
+                    model_factory=self.model_factory,
+                    config=self.training_config,
+                    seed=seed + 1000 + client_id,
+                )
+        benign_sizes = [client.num_samples for client in self.benign_clients.values()]
+        self._median_benign_samples = int(np.median(benign_sizes)) if benign_sizes else 1
+
+    def _split_reference(self, defense: Defense, reference_fraction: float):
+        """Give REFD-style defenses a balanced reference set from the test split."""
+        needs_reference = getattr(defense, "requires_reference_dataset", False)
+        if not needs_reference:
+            return None, self.task.test
+        if not 0.0 < reference_fraction < 1.0:
+            raise ValueError("reference_fraction must be in (0, 1)")
+        test = self.task.test
+        labels = test.labels
+        reference_indices: List[int] = []
+        eval_indices: List[int] = []
+        rng = np.random.default_rng(99)
+        for cls in range(self.task.num_classes):
+            cls_indices = np.flatnonzero(labels == cls)
+            rng.shuffle(cls_indices)
+            cut = int(round(len(cls_indices) * reference_fraction))
+            reference_indices.extend(cls_indices[:cut].tolist())
+            eval_indices.extend(cls_indices[cut:].tolist())
+        return test.subset(reference_indices), test.subset(eval_indices)
+
+    # ------------------------------------------------------------------
+    # Round execution
+    # ------------------------------------------------------------------
+    def run_round(self) -> RoundRecord:
+        """Execute one full FL round and return its record."""
+        round_number = self.server.round_number
+        selected = self.selector.select(
+            list(range(self.num_clients)), self.clients_per_round, self._rng
+        )
+        selected_malicious = [
+            cid for cid in selected if cid in set(self.malicious_client_ids)
+        ]
+        selected_benign = [cid for cid in selected if cid not in set(selected_malicious)]
+
+        global_params = self.server.distribute()
+        benign_updates: List[ModelUpdate] = [
+            self.benign_clients[cid].local_update(global_params, round_number)
+            for cid in selected_benign
+        ]
+
+        malicious_updates: List[ModelUpdate] = []
+        attack_metadata: Dict[str, float] = {}
+        if self.attack is not None and selected_malicious:
+            context = AttackRoundContext(
+                round_number=round_number,
+                global_params=global_params,
+                previous_global_params=self.server.previous_global_params,
+                model_factory=self.model_factory,
+                num_classes=self.task.num_classes,
+                image_shape=self.task.image_shape,
+                selected_malicious_ids=selected_malicious,
+                training_config=self.training_config,
+                benign_num_samples=self._median_benign_samples,
+                rng=self._rng,
+                benign_updates=benign_updates if self.attack.requires_benign_updates else None,
+                attacker_datasets=(
+                    self.attacker_datasets if self.attack.requires_attacker_data else None
+                ),
+            )
+            malicious_updates = self.attack.craft_updates(context)
+            if len(malicious_updates) != len(selected_malicious):
+                raise RuntimeError(
+                    f"attack {self.attack.name} returned {len(malicious_updates)} updates "
+                    f"for {len(selected_malicious)} selected malicious clients"
+                )
+
+        updates = benign_updates + malicious_updates
+        result = self.server.aggregate(updates)
+        accuracy, loss = self.server.evaluate(self.eval_dataset, batch_size=self.eval_batch_size)
+
+        num_malicious_passed: Optional[int] = None
+        if self.server.defense.selects_updates and result.accepted_client_ids is not None:
+            accepted = set(result.accepted_client_ids)
+            num_malicious_passed = len([cid for cid in selected_malicious if cid in accepted])
+
+        return RoundRecord(
+            round_number=round_number,
+            selected_client_ids=selected,
+            selected_malicious_ids=selected_malicious,
+            accepted_client_ids=result.accepted_client_ids,
+            accuracy=accuracy,
+            test_loss=loss,
+            num_malicious_passed=num_malicious_passed,
+            attack_metadata=attack_metadata,
+        )
+
+    def run(self, num_rounds: int) -> SimulationResult:
+        """Run ``num_rounds`` rounds and return the aggregated result."""
+        if num_rounds < 1:
+            raise ValueError("num_rounds must be at least 1")
+        records = [self.run_round() for _ in range(num_rounds)]
+        return SimulationResult(
+            records=records,
+            final_params=self.server.global_params.copy(),
+            malicious_client_ids=list(self.malicious_client_ids),
+        )

@@ -1,0 +1,100 @@
+"""Local training and evaluation loops shared by clients, attacks and metrics."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..data.dataset import DataLoader
+from ..nn import functional as F
+from ..nn.modules import Module
+from ..nn.optim import SGD
+from ..nn.tensor import Tensor, no_grad
+from .types import LocalTrainingConfig
+
+__all__ = ["train_on_arrays", "train_local_model", "evaluate_model", "predict_proba"]
+
+
+def train_on_arrays(
+    model: Module,
+    images: np.ndarray,
+    labels: np.ndarray,
+    config: LocalTrainingConfig,
+    rng: np.random.Generator,
+    extra_loss: Optional[callable] = None,
+) -> List[float]:
+    """Train ``model`` in place on an array dataset and return per-epoch losses.
+
+    Parameters
+    ----------
+    extra_loss:
+        Optional callable ``extra_loss(model) -> Tensor`` added to the
+        cross-entropy loss of every batch.  The DFA attacks use this hook for
+        their distance-based regularization term.
+    """
+    model.train()
+    optimizer = SGD(
+        model.parameters(),
+        lr=config.learning_rate,
+        momentum=config.momentum,
+        weight_decay=config.weight_decay,
+    )
+    num_samples = images.shape[0]
+    epoch_losses: List[float] = []
+    for _ in range(config.local_epochs):
+        order = rng.permutation(num_samples)
+        batch_losses: List[float] = []
+        for start in range(0, num_samples, config.batch_size):
+            batch = order[start : start + config.batch_size]
+            optimizer.zero_grad()
+            logits = model(Tensor(images[batch]))
+            loss = F.cross_entropy(logits, labels[batch])
+            if extra_loss is not None:
+                loss = loss + extra_loss(model)
+            loss.backward()
+            optimizer.step()
+            batch_losses.append(float(loss.item()))
+        epoch_losses.append(float(np.mean(batch_losses)))
+    return epoch_losses
+
+
+def train_local_model(
+    model: Module,
+    dataset,
+    config: LocalTrainingConfig,
+    rng: np.random.Generator,
+) -> List[float]:
+    """Train ``model`` on a dataset object that exposes ``arrays()``."""
+    images, labels = dataset.arrays()
+    return train_on_arrays(model, images, labels, config, rng)
+
+
+def evaluate_model(model: Module, dataset, batch_size: int = 128) -> Tuple[float, float]:
+    """Return ``(accuracy, mean cross-entropy loss)`` of ``model`` on a dataset."""
+    model.eval()
+    loader = DataLoader(dataset, batch_size=batch_size, shuffle=False)
+    correct = 0
+    total = 0
+    losses: List[float] = []
+    with no_grad():
+        for images, labels in loader:
+            logits = model(Tensor(images))
+            losses.append(float(F.cross_entropy(logits, labels).item()) * len(labels))
+            predictions = logits.data.argmax(axis=1)
+            correct += int((predictions == labels).sum())
+            total += len(labels)
+    if total == 0:
+        return 0.0, 0.0
+    return correct / total, float(np.sum(losses) / total)
+
+
+def predict_proba(model: Module, images: np.ndarray, batch_size: int = 256) -> np.ndarray:
+    """Class-probability predictions of ``model`` for a batch of images."""
+    model.eval()
+    outputs: List[np.ndarray] = []
+    with no_grad():
+        for start in range(0, images.shape[0], batch_size):
+            logits = model(Tensor(images[start : start + batch_size]))
+            outputs.append(F.softmax(logits, axis=-1).data)
+    return np.concatenate(outputs, axis=0)

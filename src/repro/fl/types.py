@@ -1,0 +1,139 @@
+"""Shared datatypes of the federated-learning simulation.
+
+These dataclasses form the contract between the simulation loop
+(:mod:`repro.fl.simulation`), the attacks (:mod:`repro.attacks`) and the
+defenses (:mod:`repro.defenses`):
+
+* clients produce :class:`ModelUpdate` objects (full local model parameter
+  vectors plus metadata);
+* attacks receive an :class:`AttackRoundContext` describing exactly what the
+  threat model allows them to know;
+* defenses receive a :class:`DefenseContext` and return an
+  :class:`AggregationResult`;
+* the simulation records one :class:`RoundRecord` per round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ModelUpdate",
+    "AttackRoundContext",
+    "DefenseContext",
+    "AggregationResult",
+    "RoundRecord",
+    "LocalTrainingConfig",
+]
+
+
+@dataclass
+class LocalTrainingConfig:
+    """Hyper-parameters of client-side local training."""
+
+    local_epochs: int = 1
+    batch_size: int = 32
+    learning_rate: float = 0.05
+    momentum: float = 0.0
+    weight_decay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.local_epochs < 1:
+            raise ValueError("local_epochs must be at least 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+
+
+@dataclass
+class ModelUpdate:
+    """A local model submitted by one client for one round.
+
+    ``parameters`` is the flat vector of the *entire* local model after local
+    training (not a delta), matching the FedAvg formulation in Eq. (2) of the
+    paper.
+    """
+
+    client_id: int
+    parameters: np.ndarray
+    num_samples: int
+    is_malicious: bool = False
+
+    def __post_init__(self) -> None:
+        self.parameters = np.asarray(self.parameters, dtype=np.float64).ravel()
+        if self.num_samples <= 0:
+            raise ValueError("num_samples must be positive")
+
+
+@dataclass
+class AttackRoundContext:
+    """Everything an attack may use when crafting malicious updates.
+
+    The fields encode the knowledge assumptions of Table I in the paper:
+    data-free attacks (DFA) only use ``global_params``,
+    ``previous_global_params`` and task metadata, whereas the baselines may
+    additionally read ``benign_updates`` (LIE, Fang, Min-Max) or
+    ``attacker_datasets`` (the real-data comparator of Fig. 8).
+    """
+
+    round_number: int
+    global_params: np.ndarray
+    previous_global_params: Optional[np.ndarray]
+    model_factory: Callable[[], "object"]
+    num_classes: int
+    image_shape: tuple
+    selected_malicious_ids: Sequence[int]
+    training_config: LocalTrainingConfig
+    benign_num_samples: int
+    rng: np.random.Generator
+    benign_updates: Optional[List[ModelUpdate]] = None
+    attacker_datasets: Optional[Dict[int, "object"]] = None
+
+
+@dataclass
+class DefenseContext:
+    """Server-side information available to a defense when aggregating."""
+
+    round_number: int
+    global_params: np.ndarray
+    expected_num_malicious: int
+    rng: np.random.Generator
+    model_factory: Optional[Callable[[], "object"]] = None
+    reference_dataset: Optional["object"] = None
+
+
+@dataclass
+class AggregationResult:
+    """Output of a defense: the new global parameters and which updates it used.
+
+    ``accepted_client_ids`` is ``None`` for purely statistical defenses
+    (Median, Trimmed mean) that do not select whole updates — the paper's
+    DPR metric is undefined for those.
+    """
+
+    new_params: np.ndarray
+    accepted_client_ids: Optional[List[int]] = None
+    scores: Optional[Dict[int, float]] = None
+
+
+@dataclass
+class RoundRecord:
+    """Per-round bookkeeping used to compute the paper's metrics."""
+
+    round_number: int
+    selected_client_ids: List[int]
+    selected_malicious_ids: List[int]
+    accepted_client_ids: Optional[List[int]]
+    accuracy: float
+    test_loss: float
+    num_malicious_passed: Optional[int] = None
+    attack_metadata: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def num_malicious_selected(self) -> int:
+        """Number of attacker-controlled clients sampled in this round."""
+        return len(self.selected_malicious_ids)

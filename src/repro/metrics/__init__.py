@@ -1,0 +1,17 @@
+"""Evaluation metrics of the paper: accuracy, ASR (Eq. 4) and DPR (Eq. 5)."""
+
+from .rates import (
+    attack_success_rate,
+    defense_pass_rate,
+    max_accuracy,
+    prediction_balance,
+    prediction_confidence,
+)
+
+__all__ = [
+    "attack_success_rate",
+    "defense_pass_rate",
+    "max_accuracy",
+    "prediction_balance",
+    "prediction_confidence",
+]

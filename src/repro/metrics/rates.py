@@ -1,0 +1,79 @@
+"""Metric computations used throughout the evaluation harness."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..fl.types import RoundRecord
+
+__all__ = [
+    "attack_success_rate",
+    "defense_pass_rate",
+    "max_accuracy",
+    "prediction_balance",
+    "prediction_confidence",
+]
+
+
+def attack_success_rate(clean_accuracy: float, attacked_max_accuracy: float) -> float:
+    """Attack success rate (Eq. 4), in percent.
+
+    ``clean_accuracy`` is the accuracy without attacks and defenses
+    (``acc``); ``attacked_max_accuracy`` is the maximum accuracy reached
+    during the attacked run (``acc_m``).  Higher means a stronger attack.
+    """
+    if not 0.0 < clean_accuracy <= 1.0 + 1e-9:
+        raise ValueError("clean_accuracy must be a fraction in (0, 1]")
+    if attacked_max_accuracy < 0.0:
+        raise ValueError("attacked_max_accuracy must be non-negative")
+    return (clean_accuracy - attacked_max_accuracy) / clean_accuracy * 100.0
+
+
+def defense_pass_rate(records: Sequence[RoundRecord]) -> Optional[float]:
+    """Defense pass rate (Eq. 5), in percent.
+
+    The fraction of selected attacker clients whose updates were accepted by
+    the defense, aggregated over all rounds.  Returns ``None`` when the
+    defense does not select whole updates (Median, Trimmed mean) or no
+    attacker was ever selected.
+    """
+    passed = 0
+    selected = 0
+    defined = False
+    for record in records:
+        if record.num_malicious_passed is None:
+            continue
+        defined = True
+        passed += record.num_malicious_passed
+        selected += record.num_malicious_selected
+    if not defined or selected == 0:
+        return None
+    return passed / selected * 100.0
+
+
+def max_accuracy(records: Sequence[RoundRecord]) -> float:
+    """Maximum global-model accuracy over the run (``acc_m``)."""
+    if not records:
+        return 0.0
+    return max(record.accuracy for record in records)
+
+
+def prediction_balance(predicted_labels: Iterable[int], num_classes: int) -> float:
+    """Inverse standard deviation of the predicted-label histogram.
+
+    Convenience wrapper matching REFD's balance value (Eq. 6), exposed here
+    for analysis scripts that want the statistic without running a defense.
+    """
+    counts = np.bincount(np.asarray(list(predicted_labels)), minlength=num_classes)
+    std = counts.std()
+    return 1.0 if std == 0 else float(1.0 / std)
+
+
+def prediction_confidence(probabilities: np.ndarray) -> float:
+    """Mean maximum class probability (Eq. 7)."""
+    probabilities = np.asarray(probabilities)
+    if probabilities.ndim != 2:
+        raise ValueError("probabilities must be (num_samples, num_classes)")
+    return float(probabilities.max(axis=1).mean())

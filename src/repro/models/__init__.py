@@ -1,0 +1,27 @@
+"""Neural-network architectures for classifiers and synthetic-data generators."""
+
+from .classifiers import MLP, CifarCNN, FashionCNN, SmallCNN
+from .factory import (
+    CLASSIFIER_REGISTRY,
+    build_classifier,
+    build_classifier_for_task,
+    build_filter_for_task,
+    build_generator_for_task,
+    default_architecture_for_dataset,
+)
+from .generator import FilterNet, TCNNGenerator
+
+__all__ = [
+    "FashionCNN",
+    "CifarCNN",
+    "SmallCNN",
+    "MLP",
+    "TCNNGenerator",
+    "FilterNet",
+    "CLASSIFIER_REGISTRY",
+    "build_classifier",
+    "build_classifier_for_task",
+    "build_generator_for_task",
+    "build_filter_for_task",
+    "default_architecture_for_dataset",
+]

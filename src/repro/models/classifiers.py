@@ -1,0 +1,144 @@
+"""Classifier architectures used by the federated learning experiments.
+
+The paper uses "representative neural networks with 2 (for Fashion-MNIST)
+and 6 (Cifar-10 and SVHN) convolutional layers connected with 1 and 2
+densely-connected layers".  :class:`FashionCNN` and :class:`CifarCNN` follow
+that description; :class:`SmallCNN` and :class:`MLP` are lighter variants
+used by the scaled-down benchmark harness and the unit tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from ..nn.tensor import Tensor
+
+__all__ = ["FashionCNN", "CifarCNN", "SmallCNN", "MLP"]
+
+
+def _conv_out(size: int, layers: Tuple[Tuple[int, int, int], ...]) -> int:
+    """Spatial size after a stack of ``(kernel, stride, padding)`` convolutions."""
+    for kernel, stride, padding in layers:
+        size = F.conv_output_size(size, kernel, stride, padding)
+    return size
+
+
+class FashionCNN(nn.Module):
+    """Two convolutional layers plus one dense layer (Fashion-MNIST model)."""
+
+    def __init__(
+        self,
+        in_channels: int = 1,
+        image_size: int = 28,
+        num_classes: int = 10,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.in_channels = in_channels
+        self.image_size = image_size
+        self.num_classes = num_classes
+        self.conv1 = nn.Conv2d(in_channels, 16, kernel_size=3, stride=2, padding=1, rng=rng)
+        self.conv2 = nn.Conv2d(16, 32, kernel_size=3, stride=2, padding=1, rng=rng)
+        spatial = _conv_out(image_size, ((3, 2, 1), (3, 2, 1)))
+        self.fc = nn.Linear(32 * spatial * spatial, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.conv1(x).relu()
+        x = self.conv2(x).relu()
+        return self.fc(x.flatten_batch())
+
+
+class CifarCNN(nn.Module):
+    """Six convolutional layers plus two dense layers (CIFAR-10 / SVHN model)."""
+
+    def __init__(
+        self,
+        in_channels: int = 3,
+        image_size: int = 32,
+        num_classes: int = 10,
+        width: int = 16,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.in_channels = in_channels
+        self.image_size = image_size
+        self.num_classes = num_classes
+        self.conv1 = nn.Conv2d(in_channels, width, 3, stride=1, padding=1, rng=rng)
+        self.conv2 = nn.Conv2d(width, width, 3, stride=2, padding=1, rng=rng)
+        self.conv3 = nn.Conv2d(width, 2 * width, 3, stride=1, padding=1, rng=rng)
+        self.conv4 = nn.Conv2d(2 * width, 2 * width, 3, stride=2, padding=1, rng=rng)
+        self.conv5 = nn.Conv2d(2 * width, 4 * width, 3, stride=1, padding=1, rng=rng)
+        self.conv6 = nn.Conv2d(4 * width, 4 * width, 3, stride=2, padding=1, rng=rng)
+        spatial = _conv_out(
+            image_size, ((3, 1, 1), (3, 2, 1), (3, 1, 1), (3, 2, 1), (3, 1, 1), (3, 2, 1))
+        )
+        self.fc1 = nn.Linear(4 * width * spatial * spatial, 4 * width, rng=rng)
+        self.fc2 = nn.Linear(4 * width, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.conv1(x).relu()
+        x = self.conv2(x).relu()
+        x = self.conv3(x).relu()
+        x = self.conv4(x).relu()
+        x = self.conv5(x).relu()
+        x = self.conv6(x).relu()
+        x = self.fc1(x.flatten_batch()).relu()
+        return self.fc2(x)
+
+
+class SmallCNN(nn.Module):
+    """Compact two-convolution network for scaled-down benchmark runs."""
+
+    def __init__(
+        self,
+        in_channels: int = 1,
+        image_size: int = 16,
+        num_classes: int = 10,
+        width: int = 8,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.in_channels = in_channels
+        self.image_size = image_size
+        self.num_classes = num_classes
+        self.conv1 = nn.Conv2d(in_channels, width, 3, stride=2, padding=1, rng=rng)
+        self.conv2 = nn.Conv2d(width, 2 * width, 3, stride=2, padding=1, rng=rng)
+        spatial = _conv_out(image_size, ((3, 2, 1), (3, 2, 1)))
+        self.fc = nn.Linear(2 * width * spatial * spatial, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.conv1(x).relu()
+        x = self.conv2(x).relu()
+        return self.fc(x.flatten_batch())
+
+
+class MLP(nn.Module):
+    """Fully-connected baseline classifier (fastest option for unit tests)."""
+
+    def __init__(
+        self,
+        in_channels: int = 1,
+        image_size: int = 16,
+        num_classes: int = 10,
+        hidden: int = 64,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.in_channels = in_channels
+        self.image_size = image_size
+        self.num_classes = num_classes
+        in_features = in_channels * image_size * image_size
+        self.fc1 = nn.Linear(in_features, hidden, rng=rng)
+        self.fc2 = nn.Linear(hidden, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x.flatten_batch()
+        return self.fc2(self.fc1(x).relu())

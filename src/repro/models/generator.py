@@ -1,0 +1,126 @@
+"""Synthetic-data networks used by the two DFA attack variants.
+
+* :class:`TCNNGenerator` is the lightweight transpose-convolutional
+  generator of DFA-G (two transposed convolutional layers followed by one
+  convolutional layer, following the WGAN architecture cited by the paper).
+* :class:`FilterNet` is the single convolutional "filter layer" of DFA-R
+  that maps a fixed random dummy image to a malicious synthetic image of the
+  classifier's input size.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from ..nn.tensor import Tensor
+
+__all__ = ["TCNNGenerator", "FilterNet"]
+
+
+class TCNNGenerator(nn.Module):
+    """Transpose-convolutional generator ``G: Z -> images`` (DFA-G).
+
+    The noise vector is first projected to a low-resolution feature map,
+    then upsampled twice by transposed convolutions (×4 total) and finally
+    refined by a convolution with ``tanh`` output.
+
+    Parameters
+    ----------
+    noise_dim:
+        Dimensionality of the Gaussian noise vector ``Z``.
+    out_channels, image_size:
+        Shape of the generated images; ``image_size`` must be divisible by 4.
+    base_width:
+        Number of feature maps of the innermost layer.
+    """
+
+    def __init__(
+        self,
+        noise_dim: int = 64,
+        out_channels: int = 1,
+        image_size: int = 28,
+        base_width: int = 16,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if image_size % 4 != 0:
+            raise ValueError("image_size must be divisible by 4 for the TCNN generator")
+        rng = rng or np.random.default_rng()
+        self.noise_dim = noise_dim
+        self.out_channels = out_channels
+        self.image_size = image_size
+        self.base_width = base_width
+        self._seed_size = image_size // 4
+
+        self.project = nn.Linear(noise_dim, 2 * base_width * self._seed_size ** 2, rng=rng)
+        self.deconv1 = nn.ConvTranspose2d(2 * base_width, base_width, 4, stride=2, padding=1, rng=rng)
+        self.deconv2 = nn.ConvTranspose2d(base_width, base_width, 4, stride=2, padding=1, rng=rng)
+        self.refine = nn.Conv2d(base_width, out_channels, 3, stride=1, padding=1, rng=rng)
+
+    def forward(self, noise: Tensor) -> Tensor:
+        batch = noise.shape[0]
+        x = self.project(noise).relu()
+        x = x.reshape(batch, 2 * self.base_width, self._seed_size, self._seed_size)
+        x = self.deconv1(x).relu()
+        x = self.deconv2(x).relu()
+        return self.refine(x).tanh()
+
+    def sample_noise(self, batch: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw a batch of Gaussian noise vectors for the generator input."""
+        return rng.standard_normal((batch, self.noise_dim)).astype(np.float32)
+
+
+class FilterNet(nn.Module):
+    """The DFA-R "filter layer": one convolution from dummy image to image B.
+
+    Given the target image shape ``(channels, b, b)``, kernel size ``J``,
+    stride ``St`` and padding ``P``, the dummy image A has spatial size
+    ``a = (b - 1) * St + J - 2P`` so that the convolution output exactly
+    matches the classifier's input size (the standard convolution arithmetic
+    corresponding to Eq. (a, b) in Sec. III-C of the paper).
+    """
+
+    def __init__(
+        self,
+        channels: int,
+        image_size: int,
+        kernel_size: int = 3,
+        stride: int = 1,
+        padding: int = 0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.channels = channels
+        self.image_size = image_size
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.dummy_size = (image_size - 1) * stride + kernel_size - 2 * padding
+        if self.dummy_size <= 0:
+            raise ValueError("invalid filter geometry: dummy image would be empty")
+        produced = F.conv_output_size(self.dummy_size, kernel_size, stride, padding)
+        if produced != image_size:
+            raise ValueError(
+                f"filter geometry mismatch: conv of a {self.dummy_size}-pixel dummy image "
+                f"yields {produced} pixels instead of {image_size}"
+            )
+        self.filter = nn.Conv2d(
+            channels, channels, kernel_size, stride=stride, padding=padding, rng=rng
+        )
+
+    def dummy_shape(self) -> Tuple[int, int, int]:
+        """Shape ``(C, a, a)`` of the random dummy image A."""
+        return (self.channels, self.dummy_size, self.dummy_size)
+
+    def sample_dummy(self, batch: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw a batch of uniform-random dummy images A."""
+        shape = (batch, self.channels, self.dummy_size, self.dummy_size)
+        return rng.uniform(0.0, 1.0, size=shape).astype(np.float32)
+
+    def forward(self, dummy: Tensor) -> Tensor:
+        return self.filter(dummy)

@@ -1,0 +1,95 @@
+"""A small, self-contained neural-network library built on numpy.
+
+This package is the substrate that replaces PyTorch in the reproduction of
+"Fabricated Flips: Poisoning Federated Learning without Data" (DSN 2023).
+It provides reverse-mode autograd (:mod:`repro.nn.tensor`), convolution and
+loss primitives (:mod:`repro.nn.functional`), layer containers
+(:mod:`repro.nn.modules`), optimizers (:mod:`repro.nn.optim`) and parameter
+flattening utilities (:mod:`repro.nn.serialization`).
+"""
+
+from . import functional
+from .init import (
+    calculate_fan_in_and_fan_out,
+    kaiming_uniform,
+    normal,
+    uniform,
+    xavier_uniform,
+    zeros,
+)
+from .modules import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    ConvTranspose2d,
+    Dropout,
+    Flatten,
+    LeakyReLU,
+    Linear,
+    MaxPool2d,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Softmax,
+    Tanh,
+)
+from .lr_scheduler import CosineAnnealingLR, ExponentialLR, LRScheduler, StepLR
+from .optim import SGD, Adam, Optimizer
+from .recurrent import GRU, Embedding, GRUCell
+from .serialization import (
+    clone_state_dict,
+    get_flat_params,
+    parameter_shapes,
+    set_flat_params,
+    state_dict_to_vector,
+    vector_to_state_dict,
+)
+from .tensor import DEFAULT_DTYPE, Tensor, is_grad_enabled, no_grad
+
+__all__ = [
+    "functional",
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "DEFAULT_DTYPE",
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "Conv2d",
+    "ConvTranspose2d",
+    "BatchNorm2d",
+    "Flatten",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "Softmax",
+    "Dropout",
+    "MaxPool2d",
+    "AvgPool2d",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "LRScheduler",
+    "StepLR",
+    "ExponentialLR",
+    "CosineAnnealingLR",
+    "Embedding",
+    "GRUCell",
+    "GRU",
+    "get_flat_params",
+    "set_flat_params",
+    "state_dict_to_vector",
+    "vector_to_state_dict",
+    "parameter_shapes",
+    "clone_state_dict",
+    "kaiming_uniform",
+    "xavier_uniform",
+    "normal",
+    "uniform",
+    "zeros",
+    "calculate_fan_in_and_fan_out",
+]

@@ -1,0 +1,374 @@
+"""Neural-network primitives built on top of :class:`repro.nn.tensor.Tensor`.
+
+This module implements the convolution, pooling and loss operations needed
+by the classifiers, the DFA-R filter layer and the DFA-G generator.  All
+functions are autograd-aware: they return tensors that participate in the
+computation graph and provide analytic backward passes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "linear",
+    "conv2d",
+    "conv_transpose2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "pad2d",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "soft_cross_entropy",
+    "nll_loss",
+    "mse_loss",
+    "one_hot",
+    "conv_output_size",
+    "conv_transpose_output_size",
+]
+
+
+# ----------------------------------------------------------------------
+# im2col / col2im helpers
+# ----------------------------------------------------------------------
+def _im2col(
+    x: np.ndarray, kernel: Tuple[int, int], stride: int, padding: int
+) -> Tuple[np.ndarray, int, int]:
+    """Rearrange image patches into columns.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C, H, W)``.
+    kernel:
+        ``(kh, kw)`` spatial kernel size.
+
+    Returns
+    -------
+    cols, out_h, out_w:
+        ``cols`` has shape ``(N, C*kh*kw, out_h*out_w)``.
+    """
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    out_h = (h + 2 * padding - kh) // stride + 1
+    out_w = (w + 2 * padding - kw) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"convolution output would be empty for input {x.shape}, "
+            f"kernel {kernel}, stride {stride}, padding {padding}"
+        )
+    padded = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    cols = np.empty((n, c, kh, kw, out_h, out_w), dtype=x.dtype)
+    for i in range(kh):
+        i_end = i + stride * out_h
+        for j in range(kw):
+            j_end = j + stride * out_w
+            cols[:, :, i, j, :, :] = padded[:, :, i:i_end:stride, j:j_end:stride]
+    return cols.reshape(n, c * kh * kw, out_h * out_w), out_h, out_w
+
+
+def _col2im(
+    cols: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel: Tuple[int, int],
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Inverse of :func:`_im2col`; overlapping patches are accumulated."""
+    n, c, h, w = input_shape
+    kh, kw = kernel
+    out_h = (h + 2 * padding - kh) // stride + 1
+    out_w = (w + 2 * padding - kw) // stride + 1
+    cols = cols.reshape(n, c, kh, kw, out_h, out_w)
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    for i in range(kh):
+        i_end = i + stride * out_h
+        for j in range(kw):
+            j_end = j + stride * out_w
+            padded[:, :, i:i_end:stride, j:j_end:stride] += cols[:, :, i, j, :, :]
+    if padding == 0:
+        return padded
+    return padded[:, :, padding:-padding, padding:-padding]
+
+
+def conv_output_size(size: int, kernel: int, stride: int = 1, padding: int = 0) -> int:
+    """Spatial output size of a convolution along one dimension."""
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def conv_transpose_output_size(
+    size: int, kernel: int, stride: int = 1, padding: int = 0
+) -> int:
+    """Spatial output size of a transposed convolution along one dimension."""
+    return (size - 1) * stride - 2 * padding + kernel
+
+
+# ----------------------------------------------------------------------
+# Linear / convolution layers
+# ----------------------------------------------------------------------
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias``.
+
+    ``x`` has shape ``(N, in_features)`` and ``weight`` has shape
+    ``(out_features, in_features)``, matching the PyTorch convention used
+    by the paper's models.
+    """
+    out = x @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2-D convolution over ``(N, C, H, W)`` input.
+
+    ``weight`` has shape ``(out_channels, in_channels, kh, kw)``.
+    """
+    x_data, w_data = x.data, weight.data
+    out_channels, in_channels, kh, kw = w_data.shape
+    if x_data.shape[1] != in_channels:
+        raise ValueError(
+            f"conv2d expected {in_channels} input channels, got {x_data.shape[1]}"
+        )
+    cols, out_h, out_w = _im2col(x_data, (kh, kw), stride, padding)
+    w_mat = w_data.reshape(out_channels, -1)
+    out = np.einsum("of,nfl->nol", w_mat, cols, optimize=True)
+    out = out.reshape(x_data.shape[0], out_channels, out_h, out_w)
+    if bias is not None:
+        out = out + bias.data.reshape(1, out_channels, 1, 1)
+
+    input_shape = x_data.shape
+
+    def backward(grad: np.ndarray):
+        grad_mat = grad.reshape(grad.shape[0], out_channels, -1)
+        grad_w = np.einsum("nol,nfl->of", grad_mat, cols, optimize=True)
+        grad_w = grad_w.reshape(w_data.shape)
+        grad_cols = np.einsum("of,nol->nfl", w_mat, grad_mat, optimize=True)
+        grad_x = _col2im(grad_cols, input_shape, (kh, kw), stride, padding)
+        grad_b = grad.sum(axis=(0, 2, 3)) if bias is not None else None
+        if bias is not None:
+            return (grad_x, grad_w, grad_b)
+        return (grad_x, grad_w)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    return Tensor._from_op(out, parents, backward)
+
+
+def conv_transpose2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2-D transposed convolution (the generator building block of DFA-G).
+
+    ``x`` has shape ``(N, in_channels, H, W)`` and ``weight`` has shape
+    ``(in_channels, out_channels, kh, kw)``, matching the PyTorch
+    ``nn.ConvTranspose2d`` convention.
+    """
+    x_data, w_data = x.data, weight.data
+    in_channels, out_channels, kh, kw = w_data.shape
+    if x_data.shape[1] != in_channels:
+        raise ValueError(
+            f"conv_transpose2d expected {in_channels} input channels, "
+            f"got {x_data.shape[1]}"
+        )
+    n, _, h, w = x_data.shape
+    out_h = conv_transpose_output_size(h, kh, stride, padding)
+    out_w = conv_transpose_output_size(w, kw, stride, padding)
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError("transposed convolution output would be empty")
+
+    w_mat = w_data.reshape(in_channels, out_channels * kh * kw)
+    x_mat = x_data.reshape(n, in_channels, h * w)
+    cols = np.einsum("if,nil->nfl", w_mat, x_mat, optimize=True)
+    out = _col2im(cols, (n, out_channels, out_h, out_w), (kh, kw), stride, padding)
+    if bias is not None:
+        out = out + bias.data.reshape(1, out_channels, 1, 1)
+
+    def backward(grad: np.ndarray):
+        grad_cols, _, _ = _im2col(grad, (kh, kw), stride, padding)
+        grad_x = np.einsum("if,nfl->nil", w_mat, grad_cols, optimize=True)
+        grad_x = grad_x.reshape(x_data.shape)
+        grad_w = np.einsum("nil,nfl->if", x_mat, grad_cols, optimize=True)
+        grad_w = grad_w.reshape(w_data.shape)
+        grad_b = grad.sum(axis=(0, 2, 3)) if bias is not None else None
+        if bias is not None:
+            return (grad_x, grad_w, grad_b)
+        return (grad_x, grad_w)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    return Tensor._from_op(out, parents, backward)
+
+
+# ----------------------------------------------------------------------
+# Pooling
+# ----------------------------------------------------------------------
+def max_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
+    """Max pooling over non-overlapping (or strided) windows."""
+    stride = stride or kernel
+    x_data = x.data
+    n, c, h, w = x_data.shape
+    cols, out_h, out_w = _im2col(x_data, (kernel, kernel), stride, 0)
+    cols = cols.reshape(n, c, kernel * kernel, out_h * out_w)
+    argmax = cols.argmax(axis=2)
+    out = np.take_along_axis(cols, argmax[:, :, None, :], axis=2).squeeze(2)
+    out = out.reshape(n, c, out_h, out_w)
+
+    def backward(grad: np.ndarray):
+        grad_flat = grad.reshape(n, c, 1, out_h * out_w)
+        grad_cols = np.zeros_like(cols)
+        np.put_along_axis(grad_cols, argmax[:, :, None, :], grad_flat, axis=2)
+        grad_cols = grad_cols.reshape(n, c * kernel * kernel, out_h * out_w)
+        grad_x = _col2im(grad_cols, x_data.shape, (kernel, kernel), stride, 0)
+        return (grad_x,)
+
+    return Tensor._from_op(out, (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
+    """Average pooling over windows."""
+    stride = stride or kernel
+    x_data = x.data
+    n, c, h, w = x_data.shape
+    cols, out_h, out_w = _im2col(x_data, (kernel, kernel), stride, 0)
+    cols = cols.reshape(n, c, kernel * kernel, out_h * out_w)
+    out = cols.mean(axis=2).reshape(n, c, out_h, out_w)
+
+    def backward(grad: np.ndarray):
+        grad_flat = grad.reshape(n, c, 1, out_h * out_w) / (kernel * kernel)
+        grad_cols = np.broadcast_to(grad_flat, (n, c, kernel * kernel, out_h * out_w))
+        grad_cols = grad_cols.reshape(n, c * kernel * kernel, out_h * out_w)
+        grad_x = _col2im(np.ascontiguousarray(grad_cols), x_data.shape, (kernel, kernel), stride, 0)
+        return (grad_x,)
+
+    return Tensor._from_op(out, (x,), backward)
+
+
+def pad2d(x: Tensor, padding: int) -> Tensor:
+    """Zero-pad the two trailing spatial dimensions."""
+    x_data = x.data
+    out = np.pad(x_data, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+
+    def backward(grad: np.ndarray):
+        if padding == 0:
+            return (grad,)
+        return (grad[:, :, padding:-padding, padding:-padding],)
+
+    return Tensor._from_op(out, (x,), backward)
+
+
+# ----------------------------------------------------------------------
+# Softmax and losses
+# ----------------------------------------------------------------------
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    x_data = x.data
+    shifted = x_data - x_data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    probs = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray):
+        dot = (grad * probs).sum(axis=axis, keepdims=True)
+        return (probs * (grad - dot),)
+
+    return Tensor._from_op(probs, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    x_data = x.data
+    shifted = x_data - x_data.max(axis=axis, keepdims=True)
+    log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out = shifted - log_sum
+    probs = np.exp(out)
+
+    def backward(grad: np.ndarray):
+        return (grad - probs * grad.sum(axis=axis, keepdims=True),)
+
+    return Tensor._from_op(out, (x,), backward)
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Return a one-hot ``(N, num_classes)`` float matrix for integer labels."""
+    labels = np.asarray(labels, dtype=np.int64)
+    encoded = np.zeros((labels.shape[0], num_classes), dtype=np.float32)
+    encoded[np.arange(labels.shape[0]), labels] = 1.0
+    return encoded
+
+
+def nll_loss(log_probs: Tensor, targets: np.ndarray) -> Tensor:
+    """Negative log-likelihood of integer ``targets`` given log-probabilities."""
+    targets = np.asarray(targets, dtype=np.int64)
+    n = log_probs.shape[0]
+    picked = log_probs[np.arange(n), targets]
+    return -picked.mean()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Cross-entropy between ``logits`` and integer class ``targets``.
+
+    This is the training loss of benign clients, of the adversarial
+    classifier and (negated) of the DFA-G generator objective.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    logits_data = logits.data
+    n, num_classes = logits_data.shape
+    if targets.shape[0] != n:
+        raise ValueError("number of targets must match the batch size")
+    if targets.min() < 0 or targets.max() >= num_classes:
+        raise ValueError("target labels out of range")
+    shifted = logits_data - logits_data.max(axis=1, keepdims=True)
+    log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    loss = -log_probs[np.arange(n), targets].mean()
+    probs = np.exp(log_probs)
+
+    def backward(grad: np.ndarray):
+        grad_logits = probs.copy()
+        grad_logits[np.arange(n), targets] -= 1.0
+        grad_logits *= float(grad) / n
+        return (grad_logits,)
+
+    return Tensor._from_op(np.asarray(loss, dtype=logits_data.dtype), (logits,), backward)
+
+
+def soft_cross_entropy(logits: Tensor, target_probs: np.ndarray) -> Tensor:
+    """Cross-entropy between ``logits`` and a *soft* target distribution.
+
+    DFA-R uses this with the uniform distribution ``[1/L, ..., 1/L]`` as the
+    target to push the global model towards maximally ambiguous predictions.
+    """
+    target_probs = np.asarray(target_probs, dtype=logits.data.dtype)
+    logits_data = logits.data
+    n = logits_data.shape[0]
+    if target_probs.ndim == 1:
+        target_probs = np.broadcast_to(target_probs, logits_data.shape)
+    shifted = logits_data - logits_data.max(axis=1, keepdims=True)
+    log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    loss = -(target_probs * log_probs).sum(axis=1).mean()
+    probs = np.exp(log_probs)
+
+    def backward(grad: np.ndarray):
+        grad_logits = (probs - target_probs) * (float(grad) / n)
+        return (grad_logits,)
+
+    return Tensor._from_op(np.asarray(loss, dtype=logits_data.dtype), (logits,), backward)
+
+
+def mse_loss(prediction: Tensor, target: Union[Tensor, np.ndarray]) -> Tensor:
+    """Mean squared error between ``prediction`` and ``target``."""
+    target = Tensor.as_tensor(target)
+    diff = prediction - target
+    return (diff * diff).mean()

@@ -1,0 +1,138 @@
+"""Embedding and gated-recurrent layers.
+
+Sec. III-C and III-D of the paper sketch how DFA extends beyond images: the
+DFA-R filter layer becomes a sequence-to-sequence model and the DFA-G
+generator becomes a recurrent network such as a GRU that emits synthetic
+text.  These modules provide the corresponding building blocks on top of the
+autograd engine (the backward pass through time falls out of the graph
+automatically), so that a text instantiation of the attacks can be built with
+the same APIs as the image one.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from . import init
+from .modules import Linear, Module, Parameter
+from .tensor import Tensor
+
+__all__ = ["Embedding", "GRUCell", "GRU"]
+
+
+class Embedding(Module):
+    """Lookup table mapping integer token ids to dense vectors.
+
+    The forward pass also accepts *soft* token distributions of shape
+    ``(..., num_embeddings)``, in which case it returns the expected
+    embedding — this is what a differentiable text generator needs in order
+    to feed its output into a frozen classifier.
+    """
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if num_embeddings < 1 or embedding_dim < 1:
+            raise ValueError("num_embeddings and embedding_dim must be positive")
+        rng = rng or np.random.default_rng()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(init.normal((num_embeddings, embedding_dim), rng, std=0.1))
+
+    def forward(self, tokens: Union[np.ndarray, Tensor]) -> Tensor:
+        if isinstance(tokens, Tensor):
+            # Soft tokens: (..., vocab) distribution times the embedding matrix.
+            if tokens.shape[-1] != self.num_embeddings:
+                raise ValueError(
+                    f"soft tokens must have {self.num_embeddings} entries in the last dimension"
+                )
+            flat = tokens.reshape(-1, self.num_embeddings)
+            embedded = flat @ self.weight
+            return embedded.reshape(*tokens.shape[:-1], self.embedding_dim)
+        indices = np.asarray(tokens, dtype=np.int64)
+        if indices.min() < 0 or indices.max() >= self.num_embeddings:
+            raise ValueError("token index out of range")
+        return self.weight[indices]
+
+
+class GRUCell(Module):
+    """A single gated recurrent unit step ``h' = GRU(x, h)``."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if input_size < 1 or hidden_size < 1:
+            raise ValueError("input_size and hidden_size must be positive")
+        rng = rng or np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        # Update gate z, reset gate r and candidate state n, each with input
+        # and hidden affine maps (PyTorch GRUCell parameterization).
+        self.input_gates = Linear(input_size, 3 * hidden_size, rng=rng)
+        self.hidden_gates = Linear(hidden_size, 3 * hidden_size, rng=rng)
+
+    def forward(self, x: Tensor, hidden: Optional[Tensor] = None) -> Tensor:
+        batch = x.shape[0]
+        if hidden is None:
+            hidden = Tensor(np.zeros((batch, self.hidden_size), dtype=np.float32))
+        gates_x = self.input_gates(x)
+        gates_h = self.hidden_gates(hidden)
+        h = self.hidden_size
+        z = (gates_x[:, 0:h] + gates_h[:, 0:h]).sigmoid()
+        r = (gates_x[:, h : 2 * h] + gates_h[:, h : 2 * h]).sigmoid()
+        candidate = (gates_x[:, 2 * h : 3 * h] + r * gates_h[:, 2 * h : 3 * h]).tanh()
+        return (1.0 - z) * candidate + z * hidden
+
+
+class GRU(Module):
+    """Unidirectional single-layer GRU over ``(batch, time, features)`` input."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.cell = GRUCell(input_size, hidden_size, rng=rng)
+
+    def forward(
+        self, sequence: Tensor, hidden: Optional[Tensor] = None
+    ) -> Tuple[Tensor, Tensor]:
+        if sequence.ndim != 3:
+            raise ValueError("GRU expects input of shape (batch, time, features)")
+        batch, time_steps, _ = sequence.shape
+        outputs: List[Tensor] = []
+        state = hidden
+        for step in range(time_steps):
+            state = self.cell(sequence[:, step, :], state)
+            outputs.append(state.reshape(batch, 1, self.hidden_size))
+        full = outputs[0]
+        for chunk in outputs[1:]:
+            full = _concat_time(full, chunk)
+        return full, state
+
+
+def _concat_time(left: Tensor, right: Tensor) -> Tensor:
+    """Concatenate two ``(batch, t, h)`` tensors along the time axis (autograd-aware)."""
+    left_t = left.shape[1]
+    right_t = right.shape[1]
+    data = np.concatenate([left.data, right.data], axis=1)
+
+    def backward(grad: np.ndarray):
+        return (grad[:, :left_t, :], grad[:, left_t : left_t + right_t, :])
+
+    return Tensor._from_op(data, (left, right), backward)

@@ -1,0 +1,100 @@
+"""Conversion between module parameters and flat 1-D vectors.
+
+Every robust-aggregation defense in the paper (Krum, mKrum, Bulyan, Median,
+Trimmed mean, REFD) and every statistical attack (LIE, Fang, Min-Max)
+operates on model updates represented as flat parameter vectors.  These
+helpers guarantee a stable, loss-free round trip between that flat
+representation and module state dicts.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .modules import Module
+
+__all__ = [
+    "get_flat_params",
+    "set_flat_params",
+    "state_dict_to_vector",
+    "vector_to_state_dict",
+    "parameter_shapes",
+    "clone_state_dict",
+]
+
+
+def parameter_shapes(module: Module) -> "OrderedDict[str, Tuple[int, ...]]":
+    """Return the ordered mapping of parameter names to shapes."""
+    shapes: "OrderedDict[str, Tuple[int, ...]]" = OrderedDict()
+    for name, param in module.named_parameters():
+        shapes[name] = param.data.shape
+    return shapes
+
+
+def get_flat_params(module: Module, dtype=np.float64) -> np.ndarray:
+    """Concatenate all parameters of ``module`` into one 1-D vector."""
+    chunks = [param.data.ravel().astype(dtype) for param in module.parameters()]
+    if not chunks:
+        return np.zeros(0, dtype=dtype)
+    return np.concatenate(chunks)
+
+
+def set_flat_params(module: Module, vector: np.ndarray) -> None:
+    """Write the values of a flat vector back into the module's parameters."""
+    vector = np.asarray(vector)
+    expected = module.num_parameters()
+    if vector.size != expected:
+        raise ValueError(
+            f"flat vector has {vector.size} entries but the module has {expected} parameters"
+        )
+    offset = 0
+    for param in module.parameters():
+        count = param.data.size
+        values = vector[offset : offset + count].reshape(param.data.shape)
+        param.data = values.astype(param.data.dtype, copy=True)
+        offset += count
+
+
+def state_dict_to_vector(state: Dict[str, np.ndarray], reference: Module) -> np.ndarray:
+    """Flatten a state dict using the parameter ordering of ``reference``.
+
+    Buffers (e.g. batch-norm running statistics) are excluded, matching the
+    paper's treatment of model updates as weight vectors.
+    """
+    chunks: List[np.ndarray] = []
+    for name, param in reference.named_parameters():
+        if name not in state:
+            raise KeyError(f"state dict is missing parameter '{name}'")
+        value = np.asarray(state[name])
+        if value.shape != param.data.shape:
+            raise ValueError(
+                f"parameter '{name}' has shape {value.shape}, expected {param.data.shape}"
+            )
+        chunks.append(value.ravel().astype(np.float64))
+    return np.concatenate(chunks) if chunks else np.zeros(0, dtype=np.float64)
+
+
+def vector_to_state_dict(vector: np.ndarray, reference: Module) -> Dict[str, np.ndarray]:
+    """Unflatten a vector into a state dict shaped like ``reference``'s parameters."""
+    vector = np.asarray(vector)
+    state: Dict[str, np.ndarray] = OrderedDict()
+    offset = 0
+    for name, param in reference.named_parameters():
+        count = param.data.size
+        if offset + count > vector.size:
+            raise ValueError("vector is too short for the reference module")
+        state[name] = (
+            vector[offset : offset + count].reshape(param.data.shape).astype(np.float32)
+        )
+        offset += count
+    if offset != vector.size:
+        raise ValueError("vector is too long for the reference module")
+    return state
+
+
+def clone_state_dict(state: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    """Return a deep copy of a state dict."""
+    return OrderedDict((name, np.array(value, copy=True)) for name, value in state.items())

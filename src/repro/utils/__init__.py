@@ -1,0 +1,6 @@
+"""Small shared utilities: RNG handling and plain-text result tables."""
+
+from .rng import spawn_rngs
+from .tables import format_table
+
+__all__ = ["spawn_rngs", "format_table"]

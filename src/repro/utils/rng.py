@@ -1,0 +1,22 @@
+"""Deterministic random-number-generator management.
+
+All stochastic components of the library accept explicit
+:class:`numpy.random.Generator` instances; this module provides helpers to
+derive independent generators from a single experiment seed.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+__all__ = ["spawn_rngs"]
+
+
+def spawn_rngs(seed: int, count: int) -> List[np.random.Generator]:
+    """Derive ``count`` statistically independent generators from one seed."""
+    if count < 1:
+        raise ValueError("count must be at least 1")
+    sequence = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in sequence.spawn(count)]

@@ -1,0 +1,39 @@
+"""Plain-text table rendering for benchmark and example output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as a fixed-width text table (benchmarks print these).
+
+    Numeric cells are formatted with two decimals; ``None`` renders as "N/A"
+    (used for DPR under defenses where it is undefined).
+    """
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered: List[str] = []
+        for cell in row:
+            if cell is None:
+                rendered.append("N/A")
+            elif isinstance(cell, float):
+                rendered.append(f"{cell:.2f}")
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    separator = "-+-".join("-" * width for width in widths)
+    lines = [render_line([str(h) for h in headers]), separator]
+    lines.extend(render_line(row) for row in rendered_rows)
+    return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SyntheticImageSpec, make_synthetic_task
+from repro.fl.types import LocalTrainingConfig
+from repro.models import MLP, SmallCNN
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def tiny_task():
+    """A very small grayscale task (12x12, 10 classes) for fast FL tests."""
+    spec = SyntheticImageSpec(name="tiny", channels=1, image_size=12, noise_std=0.2, jitter=1)
+    return make_synthetic_task(spec, train_size=120, test_size=60, seed=7)
+
+
+@pytest.fixture
+def tiny_rgb_task():
+    """A very small RGB task (12x12, 10 classes)."""
+    spec = SyntheticImageSpec(name="tiny-rgb", channels=3, image_size=12, noise_std=0.3, jitter=1)
+    return make_synthetic_task(spec, train_size=100, test_size=40, seed=8)
+
+
+@pytest.fixture
+def mlp_factory(tiny_task):
+    """Factory building a small MLP matching the tiny task."""
+
+    def factory():
+        return MLP(in_channels=1, image_size=12, num_classes=10, hidden=32,
+                   rng=np.random.default_rng(0))
+
+    return factory
+
+
+@pytest.fixture
+def cnn_factory(tiny_task):
+    """Factory building a SmallCNN matching the tiny task."""
+
+    def factory():
+        return SmallCNN(in_channels=1, image_size=12, num_classes=10, width=4,
+                        rng=np.random.default_rng(0))
+
+    return factory
+
+
+@pytest.fixture
+def train_config() -> LocalTrainingConfig:
+    """Fast local-training configuration."""
+    return LocalTrainingConfig(local_epochs=1, batch_size=16, learning_rate=0.1)
+
+
+def numerical_gradient(func, array: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    """Central-difference numerical gradient of ``func()`` w.r.t. ``array`` (in place)."""
+    grad = np.zeros_like(array)
+    iterator = np.nditer(array, flags=["multi_index"])
+    while not iterator.finished:
+        index = iterator.multi_index
+        original = array[index]
+        array[index] = original + eps
+        upper = func()
+        array[index] = original - eps
+        lower = func()
+        array[index] = original
+        grad[index] = (upper - lower) / (2 * eps)
+        iterator.iternext()
+    return grad

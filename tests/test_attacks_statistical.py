@@ -1,0 +1,232 @@
+"""Tests for the statistical baseline attacks (LIE, Fang, Min-Max, Min-Sum) and simple attacks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    FangAttack,
+    LabelFlip,
+    LieAttack,
+    MinMaxAttack,
+    MinSumAttack,
+    RandomWeights,
+    SignFlip,
+    available_attacks,
+    build_attack,
+    lie_z_max,
+)
+from repro.fl.types import AttackRoundContext, LocalTrainingConfig, ModelUpdate
+from repro.models import MLP
+from repro.nn.serialization import get_flat_params
+
+
+def _make_context(
+    benign_matrix: np.ndarray | None = None,
+    num_malicious: int = 2,
+    global_params: np.ndarray | None = None,
+    attacker_datasets=None,
+    dim: int = 6,
+):
+    if global_params is None:
+        global_params = np.zeros(dim)
+    benign_updates = None
+    if benign_matrix is not None:
+        benign_updates = [
+            ModelUpdate(client_id=i, parameters=row, num_samples=10)
+            for i, row in enumerate(benign_matrix)
+        ]
+
+    def model_factory():
+        return MLP(in_channels=1, image_size=4, num_classes=3, hidden=4,
+                   rng=np.random.default_rng(0))
+
+    return AttackRoundContext(
+        round_number=1,
+        global_params=global_params,
+        previous_global_params=None,
+        model_factory=model_factory,
+        num_classes=3,
+        image_shape=(1, 4, 4),
+        selected_malicious_ids=list(range(100, 100 + num_malicious)),
+        training_config=LocalTrainingConfig(local_epochs=1, batch_size=8, learning_rate=0.1),
+        benign_num_samples=10,
+        rng=np.random.default_rng(0),
+        benign_updates=benign_updates,
+        attacker_datasets=attacker_datasets,
+    )
+
+
+class TestLie:
+    def test_z_max_formula_nonnegative_for_small_cohorts(self):
+        assert lie_z_max(10, 2) >= 0.0
+
+    def test_z_max_matches_original_paper_example(self):
+        # n = 50, m = 24 is the worked example of the LIE paper: s = 2 and the
+        # quantile (n - m - s) / (n - m) = 24/26 gives z of roughly 1.4.
+        assert lie_z_max(50, 24) == pytest.approx(1.42, abs=0.1)
+
+    def test_z_max_larger_systems_allow_larger_shifts(self):
+        assert lie_z_max(50, 10) >= lie_z_max(10, 2) - 1e-9
+
+    def test_min_z_floor_applies_when_formula_degenerates(self):
+        benign = np.random.default_rng(0).standard_normal((8, 6)) + 1.0
+        attack = LieAttack(min_z=0.3)
+        updates = attack.craft_updates(_make_context(benign, num_malicious=2))
+        expected = benign.mean(axis=0) - 0.3 * benign.std(axis=0)
+        np.testing.assert_allclose(updates[0].parameters, expected)
+
+    def test_z_max_rejects_all_malicious(self):
+        with pytest.raises(ValueError):
+            lie_z_max(5, 5)
+
+    def test_crafted_vector_is_mean_minus_z_std(self):
+        benign = np.array([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]])
+        attack = LieAttack(z=1.0)
+        updates = attack.craft_updates(_make_context(benign, dim=2))
+        expected = benign.mean(axis=0) - benign.std(axis=0)
+        for update in updates:
+            np.testing.assert_allclose(update.parameters, expected)
+
+    def test_all_sybils_receive_same_update(self):
+        benign = np.random.default_rng(0).standard_normal((5, 6))
+        updates = LieAttack().craft_updates(_make_context(benign, num_malicious=3))
+        assert len(updates) == 3
+        for update in updates[1:]:
+            np.testing.assert_array_equal(update.parameters, updates[0].parameters)
+        assert all(u.is_malicious for u in updates)
+
+    def test_requires_benign_updates(self):
+        with pytest.raises(ValueError):
+            LieAttack().craft_updates(_make_context(None))
+
+
+class TestFang:
+    def test_moves_opposite_to_benign_direction(self):
+        rng = np.random.default_rng(0)
+        global_params = np.zeros(6)
+        benign = 1.0 + 0.1 * rng.standard_normal((6, 6))  # benign direction: positive
+        updates = FangAttack().craft_updates(_make_context(benign, global_params=global_params))
+        mean = benign.mean(axis=0)
+        assert np.all(updates[0].parameters < mean)
+
+    def test_deviation_is_within_configured_band(self):
+        rng = np.random.default_rng(1)
+        benign = 1.0 + 0.1 * rng.standard_normal((8, 6))
+        attack = FangAttack(low=3.0, high=4.0)
+        updates = attack.craft_updates(_make_context(benign))
+        mean, std = benign.mean(axis=0), benign.std(axis=0)
+        deviation = np.abs(updates[0].parameters - mean) / std
+        assert np.all(deviation >= 3.0 - 1e-9) and np.all(deviation <= 4.0 + 1e-9)
+
+    def test_invalid_band(self):
+        with pytest.raises(ValueError):
+            FangAttack(low=4.0, high=3.0)
+
+
+class TestMinMaxAndMinSum:
+    def _benign(self, n: int = 8, dim: int = 10):
+        rng = np.random.default_rng(2)
+        return 0.5 + 0.2 * rng.standard_normal((n, dim))
+
+    def test_minmax_constraint_satisfied(self):
+        benign = self._benign()
+        attack = MinMaxAttack(perturbation="std")
+        updates = attack.craft_updates(_make_context(benign, dim=10))
+        crafted = updates[0].parameters
+        pairwise = np.linalg.norm(benign[:, None] - benign[None, :], axis=-1).max()
+        distance = np.linalg.norm(benign - crafted, axis=1).max()
+        assert distance <= pairwise + 1e-6
+
+    def test_minmax_moves_away_from_mean(self):
+        benign = self._benign()
+        attack = MinMaxAttack(perturbation="unit_vec")
+        updates = attack.craft_updates(_make_context(benign, dim=10))
+        assert attack.last_gamma > 0.0
+        assert not np.allclose(updates[0].parameters, benign.mean(axis=0))
+
+    def test_minsum_constraint_satisfied(self):
+        benign = self._benign()
+        attack = MinSumAttack(perturbation="std")
+        updates = attack.craft_updates(_make_context(benign, dim=10))
+        crafted = updates[0].parameters
+        budget = ((benign[:, None] - benign[None, :]) ** 2).sum(axis=-1).sum(axis=1).max()
+        cost = ((benign - crafted) ** 2).sum()
+        assert cost <= budget + 1e-6
+
+    def test_single_benign_update_falls_back_to_mean(self):
+        benign = self._benign(n=1)
+        updates = MinMaxAttack().craft_updates(_make_context(benign, dim=10))
+        np.testing.assert_allclose(updates[0].parameters, benign[0])
+
+    @pytest.mark.parametrize("perturbation", ["unit_vec", "std", "sign"])
+    def test_all_perturbation_types_produce_finite_updates(self, perturbation):
+        benign = self._benign()
+        updates = MinMaxAttack(perturbation=perturbation).craft_updates(
+            _make_context(benign, dim=10)
+        )
+        assert np.all(np.isfinite(updates[0].parameters))
+
+    def test_unknown_perturbation_rejected(self):
+        with pytest.raises(ValueError):
+            MinMaxAttack(perturbation="bogus")
+
+
+class TestSimpleAttacks:
+    def test_random_weights_scale_follows_global_model(self):
+        global_params = np.random.default_rng(0).standard_normal(1000) * 5.0
+        updates = RandomWeights().craft_updates(
+            _make_context(None, global_params=global_params, dim=1000)
+        )
+        crafted_std = updates[0].parameters.std()
+        assert crafted_std == pytest.approx(global_params.std(), rel=0.2)
+
+    def test_random_weights_differ_from_global(self):
+        global_params = np.ones(50)
+        updates = RandomWeights().craft_updates(
+            _make_context(None, global_params=global_params, dim=50)
+        )
+        assert not np.allclose(updates[0].parameters, global_params)
+
+    def test_sign_flip_reflects_mean_update(self):
+        global_params = np.zeros(4)
+        benign = np.tile(np.array([1.0, -2.0, 0.5, 0.0]), (5, 1))
+        updates = SignFlip(gamma=1.0).craft_updates(
+            _make_context(benign, global_params=global_params, dim=4)
+        )
+        np.testing.assert_allclose(updates[0].parameters, [-1.0, 2.0, -0.5, 0.0])
+
+    def test_label_flip_requires_data(self):
+        with pytest.raises(ValueError):
+            LabelFlip().craft_updates(_make_context(None))
+
+    def test_knowledge_flags_match_threat_model(self):
+        assert LieAttack.requires_benign_updates
+        assert FangAttack.requires_benign_updates
+        assert MinMaxAttack.requires_benign_updates
+        assert not RandomWeights.requires_benign_updates
+        assert not RandomWeights.requires_attacker_data
+        assert LabelFlip.requires_attacker_data
+
+
+class TestRegistry:
+    def test_all_names_build(self):
+        for name in available_attacks():
+            assert build_attack(name) is not None
+
+    def test_none_returns_none(self):
+        assert build_attack(None) is None
+        assert build_attack("none") is None
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            build_attack("unknown-attack")
+
+    def test_kwargs_forwarded(self):
+        attack = build_attack("lie", z=0.5)
+        assert attack.z == 0.5
+
+    def test_expected_attacks_registered(self):
+        names = set(available_attacks())
+        assert {"lie", "fang", "min-max", "min-sum", "dfa-r", "dfa-g", "real-data"} <= names

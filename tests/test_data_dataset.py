@@ -1,0 +1,143 @@
+"""Tests for ArrayDataset, Subset, DataLoader and train/test splitting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import ArrayDataset, DataLoader, Subset, train_test_split
+
+
+def _dataset(n: int = 20, classes: int = 4) -> ArrayDataset:
+    rng = np.random.default_rng(0)
+    images = rng.standard_normal((n, 1, 8, 8)).astype(np.float32)
+    labels = np.arange(n) % classes
+    return ArrayDataset(images, labels)
+
+
+class TestArrayDataset:
+    def test_length_and_getitem(self):
+        ds = _dataset(10)
+        assert len(ds) == 10
+        image, label = ds[3]
+        assert image.shape == (1, 8, 8)
+        assert label == 3 % 4
+
+    def test_rejects_non_4d_images(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((5, 8, 8)), np.zeros(5))
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((5, 1, 8, 8)), np.zeros(4))
+
+    def test_rejects_2d_labels(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((5, 1, 8, 8)), np.zeros((5, 1)))
+
+    def test_image_shape_and_num_classes(self):
+        ds = _dataset(12, classes=3)
+        assert ds.image_shape == (1, 8, 8)
+        assert ds.num_classes == 3
+
+    def test_class_counts(self):
+        ds = _dataset(12, classes=4)
+        np.testing.assert_array_equal(ds.class_counts(), [3, 3, 3, 3])
+
+    def test_class_counts_with_min_length(self):
+        ds = _dataset(12, classes=4)
+        assert len(ds.class_counts(num_classes=10)) == 10
+
+    def test_arrays_returns_full_data(self):
+        ds = _dataset(6)
+        images, labels = ds.arrays()
+        assert images.shape[0] == 6 and labels.shape[0] == 6
+
+
+class TestSubset:
+    def test_subset_indexing(self):
+        ds = _dataset(10)
+        sub = ds.subset([2, 4, 6])
+        assert len(sub) == 3
+        image, label = sub[1]
+        np.testing.assert_allclose(image, ds[4][0])
+        assert label == ds[4][1]
+
+    def test_subset_out_of_range_raises(self):
+        ds = _dataset(5)
+        with pytest.raises(IndexError):
+            Subset(ds, [0, 7])
+
+    def test_subset_class_counts(self):
+        ds = _dataset(12, classes=4)
+        sub = ds.subset([0, 4, 8])  # all label 0
+        counts = sub.class_counts()
+        assert counts[0] == 3 and counts[1:].sum() == 0
+
+    def test_subset_arrays_materialize(self):
+        ds = _dataset(10)
+        sub = ds.subset([1, 3])
+        images, labels = sub.arrays()
+        assert images.shape[0] == 2
+        np.testing.assert_array_equal(labels, ds.labels[[1, 3]])
+
+    def test_subset_image_shape(self):
+        ds = _dataset(10)
+        assert ds.subset([0]).image_shape == ds.image_shape
+
+
+class TestDataLoader:
+    def test_batches_cover_dataset(self):
+        ds = _dataset(23)
+        loader = DataLoader(ds, batch_size=5)
+        total = sum(len(labels) for _, labels in loader)
+        assert total == 23
+        assert len(loader) == 5
+
+    def test_drop_last(self):
+        ds = _dataset(23)
+        loader = DataLoader(ds, batch_size=5, drop_last=True)
+        sizes = [len(labels) for _, labels in loader]
+        assert sizes == [5, 5, 5, 5]
+        assert len(loader) == 4
+
+    def test_shuffle_changes_order_but_not_content(self):
+        ds = _dataset(30)
+        loader = DataLoader(ds, batch_size=30, shuffle=True, rng=np.random.default_rng(1))
+        _, labels = next(iter(loader))
+        assert not np.array_equal(labels, ds.labels)
+        assert sorted(labels) == sorted(ds.labels)
+
+    def test_shuffle_reproducible_with_seeded_rng(self):
+        ds = _dataset(30)
+        loader_a = DataLoader(ds, batch_size=10, shuffle=True, rng=np.random.default_rng(3))
+        loader_b = DataLoader(ds, batch_size=10, shuffle=True, rng=np.random.default_rng(3))
+        for (_, la), (_, lb) in zip(loader_a, loader_b):
+            np.testing.assert_array_equal(la, lb)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(_dataset(5), batch_size=0)
+
+    def test_works_on_subset(self):
+        ds = _dataset(20)
+        sub = ds.subset(range(7))
+        total = sum(len(labels) for _, labels in DataLoader(sub, batch_size=3))
+        assert total == 7
+
+
+class TestTrainTestSplit:
+    def test_split_sizes(self, rng):
+        ds = _dataset(40)
+        train, test = train_test_split(ds, 0.25, rng)
+        assert len(train) == 30 and len(test) == 10
+
+    def test_split_is_disjoint_and_complete(self, rng):
+        ds = _dataset(40)
+        train, test = train_test_split(ds, 0.3, rng)
+        combined = sorted(list(train.indices) + list(test.indices))
+        assert combined == list(range(40))
+
+    def test_invalid_fraction(self, rng):
+        with pytest.raises(ValueError):
+            train_test_split(_dataset(10), 1.5, rng)

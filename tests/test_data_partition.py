@@ -1,0 +1,125 @@
+"""Tests for the client data partitioners (i.i.d., Dirichlet, label skew)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import ArrayDataset
+from repro.data.partition import (
+    DirichletPartitioner,
+    IidPartitioner,
+    LabelSkewPartitioner,
+    partition_dataset,
+)
+
+
+def _dataset(n: int = 200, classes: int = 10) -> ArrayDataset:
+    rng = np.random.default_rng(0)
+    images = rng.standard_normal((n, 1, 8, 8)).astype(np.float32)
+    labels = np.arange(n) % classes
+    return ArrayDataset(images, labels)
+
+
+def _coverage(shards) -> np.ndarray:
+    return np.sort(np.concatenate([shard.indices for shard in shards]))
+
+
+class TestIidPartitioner:
+    def test_covers_all_samples_exactly_once(self, rng):
+        ds = _dataset(101)
+        shards = IidPartitioner().split(ds, 7, rng)
+        np.testing.assert_array_equal(_coverage(shards), np.arange(101))
+
+    def test_shard_sizes_are_balanced(self, rng):
+        shards = IidPartitioner().split(_dataset(100), 10, rng)
+        sizes = [len(s) for s in shards]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_label_distribution_roughly_uniform(self, rng):
+        shards = IidPartitioner().split(_dataset(1000), 10, rng)
+        for shard in shards:
+            counts = shard.class_counts(10)
+            assert counts.min() >= 3  # each class present in every shard
+
+    def test_invalid_client_count(self, rng):
+        with pytest.raises(ValueError):
+            IidPartitioner().split(_dataset(10), 0, rng)
+
+
+class TestDirichletPartitioner:
+    def test_covers_all_samples_exactly_once(self, rng):
+        ds = _dataset(300)
+        shards = DirichletPartitioner(beta=0.5).split(ds, 10, rng)
+        np.testing.assert_array_equal(_coverage(shards), np.arange(300))
+
+    def test_rejects_nonpositive_beta(self):
+        with pytest.raises(ValueError):
+            DirichletPartitioner(beta=0.0)
+
+    def test_min_samples_respected(self, rng):
+        ds = _dataset(300)
+        shards = DirichletPartitioner(beta=0.1, min_samples_per_client=2).split(ds, 10, rng)
+        assert min(len(s) for s in shards) >= 2
+
+    def test_low_beta_is_more_heterogeneous_than_high_beta(self):
+        ds = _dataset(2000)
+
+        def heterogeneity(beta: float) -> float:
+            shards = DirichletPartitioner(beta=beta).split(
+                ds, 10, np.random.default_rng(42)
+            )
+            # Mean per-shard std of class proportions: higher = more skewed.
+            values = []
+            for shard in shards:
+                proportions = shard.class_counts(10) / max(len(shard), 1)
+                values.append(proportions.std())
+            return float(np.mean(values))
+
+        assert heterogeneity(0.1) > heterogeneity(10.0)
+
+    def test_deterministic_given_rng_seed(self):
+        ds = _dataset(200)
+        a = DirichletPartitioner(beta=0.5).split(ds, 5, np.random.default_rng(7))
+        b = DirichletPartitioner(beta=0.5).split(ds, 5, np.random.default_rng(7))
+        for shard_a, shard_b in zip(a, b):
+            np.testing.assert_array_equal(shard_a.indices, shard_b.indices)
+
+    def test_number_of_shards(self, rng):
+        shards = DirichletPartitioner(beta=0.5).split(_dataset(100), 13, rng)
+        assert len(shards) == 13
+
+
+class TestLabelSkewPartitioner:
+    def test_clients_hold_limited_classes(self, rng):
+        ds = _dataset(500)
+        shards = LabelSkewPartitioner(classes_per_client=2).split(ds, 10, rng)
+        for shard in shards:
+            present = (shard.class_counts(10) > 0).sum()
+            assert present <= 2
+
+    def test_invalid_classes_per_client(self):
+        with pytest.raises(ValueError):
+            LabelSkewPartitioner(classes_per_client=0)
+
+    def test_indices_are_unique_across_clients(self, rng):
+        ds = _dataset(500)
+        shards = LabelSkewPartitioner(classes_per_client=3).split(ds, 8, rng)
+        combined = _coverage(shards)
+        assert len(combined) == len(set(combined.tolist()))
+
+
+class TestPartitionDataset:
+    def test_beta_none_gives_iid_balanced_shards(self, rng):
+        shards = partition_dataset(_dataset(100), 10, beta=None, rng=rng)
+        sizes = [len(s) for s in shards]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_finite_beta_gives_dirichlet(self, rng):
+        shards = partition_dataset(_dataset(200), 10, beta=0.2, rng=rng)
+        assert len(shards) == 10
+        np.testing.assert_array_equal(_coverage(shards), np.arange(200))
+
+    def test_default_rng_is_created(self):
+        shards = partition_dataset(_dataset(50), 5, beta=0.5)
+        assert len(shards) == 5

@@ -1,0 +1,181 @@
+"""Tests for REFD: balance value, confidence value, D-score and update filtering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.defenses.refd import Refd, balance_value, confidence_value, d_score
+from repro.fl.training import train_local_model
+from repro.fl.types import DefenseContext, LocalTrainingConfig, ModelUpdate
+from repro.nn.serialization import get_flat_params, set_flat_params
+
+
+class TestScoreComponents:
+    def test_balance_value_uniform_counts(self):
+        # Perfectly balanced predictions => zero std => balance value 1.
+        assert balance_value(np.array([10, 10, 10, 10])) == 1.0
+
+    def test_balance_value_decreases_with_bias(self):
+        balanced = balance_value(np.array([10, 10, 10, 10]))
+        biased = balance_value(np.array([37, 1, 1, 1]))
+        assert biased < balanced
+
+    def test_balance_value_is_inverse_std(self):
+        counts = np.array([4.0, 8.0, 12.0])
+        assert balance_value(counts) == pytest.approx(1.0 / counts.std())
+
+    def test_confidence_value_range(self):
+        probabilities = np.array([[0.9, 0.05, 0.05], [0.4, 0.35, 0.25]])
+        value = confidence_value(probabilities)
+        assert value == pytest.approx((0.9 + 0.4) / 2)
+
+    def test_confidence_value_rejects_1d(self):
+        with pytest.raises(ValueError):
+            confidence_value(np.array([0.5, 0.5]))
+
+    def test_d_score_harmonic_mean_at_alpha_one(self):
+        assert d_score(1.0, 1.0) == pytest.approx(1.0)
+        assert d_score(0.5, 1.0) == pytest.approx(2 * 0.5 * 1.0 / 1.5)
+
+    def test_d_score_decreases_with_either_component(self):
+        base = d_score(0.8, 0.8)
+        assert d_score(0.4, 0.8) < base
+        assert d_score(0.8, 0.4) < base
+
+    def test_d_score_zero_denominator(self):
+        assert d_score(0.0, 0.0) == 0.0
+
+    def test_d_score_alpha_weighting(self):
+        # As in the F-beta score, a large alpha shifts the weight towards the
+        # second component (the confidence value V in Eq. 8).
+        high_confidence = d_score(0.1, 0.9, alpha=4.0)
+        low_confidence = d_score(0.9, 0.1, alpha=4.0)
+        assert high_confidence > low_confidence
+
+
+class TestRefdValidation:
+    def test_invalid_constructor_arguments(self):
+        with pytest.raises(ValueError):
+            Refd(num_rejected=-1)
+        with pytest.raises(ValueError):
+            Refd(alpha=0.0)
+
+    def test_requires_reference_dataset(self, tiny_task, mlp_factory):
+        defense = Refd(num_rejected=1)
+        params = get_flat_params(mlp_factory())
+        updates = [ModelUpdate(client_id=0, parameters=params, num_samples=5)]
+        context = DefenseContext(
+            round_number=0,
+            global_params=params,
+            expected_num_malicious=1,
+            rng=np.random.default_rng(0),
+            model_factory=mlp_factory,
+            reference_dataset=None,
+        )
+        with pytest.raises(ValueError):
+            defense.aggregate(updates, context)
+
+    def test_requires_model_factory(self, tiny_task, mlp_factory):
+        defense = Refd(num_rejected=1)
+        params = get_flat_params(mlp_factory())
+        updates = [ModelUpdate(client_id=0, parameters=params, num_samples=5)]
+        context = DefenseContext(
+            round_number=0,
+            global_params=params,
+            expected_num_malicious=1,
+            rng=np.random.default_rng(0),
+            model_factory=None,
+            reference_dataset=tiny_task.test,
+        )
+        with pytest.raises(ValueError):
+            defense.aggregate(updates, context)
+
+
+class TestRefdFiltering:
+    def _trained_update(self, tiny_task, mlp_factory, client_id: int, epochs: int = 10):
+        model = mlp_factory()
+        config = LocalTrainingConfig(local_epochs=epochs, batch_size=32, learning_rate=0.2)
+        train_local_model(model, tiny_task.train, config, np.random.default_rng(client_id))
+        return ModelUpdate(
+            client_id=client_id, parameters=get_flat_params(model), num_samples=40
+        )
+
+    def _biased_update(self, tiny_task, mlp_factory, client_id: int, target: int = 0):
+        """A model trained to always predict one class (the DFA-G failure mode)."""
+        model = mlp_factory()
+        images, _ = tiny_task.train.arrays()
+        labels = np.full(len(images), target, dtype=np.int64)
+        config = LocalTrainingConfig(local_epochs=10, batch_size=32, learning_rate=0.3)
+        from repro.fl.training import train_on_arrays
+
+        train_on_arrays(model, images, labels, config, np.random.default_rng(client_id))
+        return ModelUpdate(
+            client_id=client_id,
+            parameters=get_flat_params(model),
+            num_samples=40,
+            is_malicious=True,
+        )
+
+    def _context(self, tiny_task, mlp_factory):
+        return DefenseContext(
+            round_number=0,
+            global_params=get_flat_params(mlp_factory()),
+            expected_num_malicious=1,
+            rng=np.random.default_rng(0),
+            model_factory=mlp_factory,
+            reference_dataset=tiny_task.test,
+        )
+
+    def test_biased_update_rejected(self, tiny_task, mlp_factory):
+        benign = [self._trained_update(tiny_task, mlp_factory, i) for i in range(3)]
+        malicious = self._biased_update(tiny_task, mlp_factory, 99)
+        defense = Refd(num_rejected=1)
+        result = defense.aggregate(benign + [malicious], self._context(tiny_task, mlp_factory))
+        assert 99 not in result.accepted_client_ids
+        assert len(result.accepted_client_ids) == 3
+
+    def test_reports_cover_all_updates(self, tiny_task, mlp_factory):
+        benign = [self._trained_update(tiny_task, mlp_factory, i) for i in range(2)]
+        malicious = self._biased_update(tiny_task, mlp_factory, 50)
+        defense = Refd(num_rejected=1)
+        defense.aggregate(benign + [malicious], self._context(tiny_task, mlp_factory))
+        assert len(defense.last_reports) == 3
+        scores = {report.client_id: report.score for report in defense.last_reports}
+        assert scores[50] == min(scores.values())
+
+    def test_biased_update_has_lower_balance(self, tiny_task, mlp_factory):
+        defense = Refd(num_rejected=1)
+        context = self._context(tiny_task, mlp_factory)
+        images, _ = tiny_task.test.arrays()
+        benign_report = defense.score_update(
+            self._trained_update(tiny_task, mlp_factory, 0), images, context
+        )
+        biased_report = defense.score_update(
+            self._biased_update(tiny_task, mlp_factory, 1), images, context
+        )
+        assert biased_report.balance < benign_report.balance
+
+    def test_untrained_update_has_low_confidence(self, tiny_task, mlp_factory):
+        defense = Refd(num_rejected=1)
+        context = self._context(tiny_task, mlp_factory)
+        images, _ = tiny_task.test.arrays()
+        untrained = ModelUpdate(
+            client_id=7, parameters=get_flat_params(mlp_factory()), num_samples=10
+        )
+        trained = self._trained_update(tiny_task, mlp_factory, 0, epochs=15)
+        untrained_report = defense.score_update(untrained, images, context)
+        trained_report = defense.score_update(trained, images, context)
+        assert untrained_report.confidence < trained_report.confidence
+
+    def test_num_rejected_caps_at_updates_minus_one(self, tiny_task, mlp_factory):
+        benign = [self._trained_update(tiny_task, mlp_factory, i) for i in range(2)]
+        defense = Refd(num_rejected=10)
+        result = defense.aggregate(benign, self._context(tiny_task, mlp_factory))
+        assert len(result.accepted_client_ids) == 1
+
+    def test_max_reference_samples_truncates(self, tiny_task, mlp_factory):
+        defense = Refd(num_rejected=1, max_reference_samples=20)
+        context = self._context(tiny_task, mlp_factory)
+        images, _ = defense._reference_arrays(context)
+        assert len(images) == 20

@@ -1,0 +1,251 @@
+"""Tests for the robust aggregation defenses (Krum family, statistics, FoolsGold)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.defenses import (
+    Bulyan,
+    FoolsGold,
+    Krum,
+    MultiKrum,
+    Median,
+    NoDefense,
+    TrimmedMean,
+    available_defenses,
+    build_defense,
+    krum_scores,
+)
+from repro.fl.types import DefenseContext, ModelUpdate
+
+
+def _context(dim: int = 4, num_malicious: int = 1) -> DefenseContext:
+    return DefenseContext(
+        round_number=0,
+        global_params=np.zeros(dim),
+        expected_num_malicious=num_malicious,
+        rng=np.random.default_rng(0),
+    )
+
+
+def _cluster_with_outlier(num_benign: int = 8, dim: int = 4, outlier_scale: float = 50.0):
+    """Benign updates clustered near 1.0 plus one far-away malicious update."""
+    rng = np.random.default_rng(0)
+    updates = [
+        ModelUpdate(client_id=i, parameters=1.0 + 0.01 * rng.standard_normal(dim), num_samples=10)
+        for i in range(num_benign)
+    ]
+    updates.append(
+        ModelUpdate(
+            client_id=99,
+            parameters=np.full(dim, outlier_scale),
+            num_samples=10,
+            is_malicious=True,
+        )
+    )
+    return updates
+
+
+class TestNoDefense:
+    def test_fedavg_weighting(self):
+        updates = [
+            ModelUpdate(client_id=0, parameters=np.zeros(3), num_samples=1),
+            ModelUpdate(client_id=1, parameters=np.ones(3), num_samples=3),
+        ]
+        result = NoDefense().aggregate(updates, _context(3))
+        np.testing.assert_allclose(result.new_params, np.full(3, 0.75))
+        assert result.accepted_client_ids is None
+
+    def test_empty_updates_rejected(self):
+        with pytest.raises(ValueError):
+            NoDefense().aggregate([], _context())
+
+
+class TestKrumScores:
+    def test_outlier_gets_highest_score(self):
+        updates = _cluster_with_outlier()
+        matrix = np.stack([u.parameters for u in updates])
+        scores = krum_scores(matrix, num_malicious=1)
+        assert scores.argmax() == len(updates) - 1
+
+    def test_scores_are_permutation_equivariant(self):
+        updates = _cluster_with_outlier()
+        matrix = np.stack([u.parameters for u in updates])
+        scores = krum_scores(matrix, 1)
+        perm = np.random.default_rng(1).permutation(len(updates))
+        scores_perm = krum_scores(matrix[perm], 1)
+        np.testing.assert_allclose(scores_perm, scores[perm], atol=1e-8)
+
+    def test_two_updates_degenerate_case(self):
+        matrix = np.array([[0.0, 0.0], [1.0, 1.0]])
+        scores = krum_scores(matrix, 0)
+        assert scores.shape == (2,)
+        assert np.all(np.isfinite(scores))
+
+
+class TestKrumAndMultiKrum:
+    def test_krum_selects_a_benign_update(self):
+        updates = _cluster_with_outlier()
+        result = Krum().aggregate(updates, _context())
+        assert result.accepted_client_ids[0] != 99
+        assert np.all(np.abs(result.new_params - 1.0) < 0.2)
+
+    def test_krum_reports_scores_for_all_clients(self):
+        updates = _cluster_with_outlier()
+        result = Krum().aggregate(updates, _context())
+        assert set(result.scores) == {u.client_id for u in updates}
+
+    def test_mkrum_excludes_outlier(self):
+        updates = _cluster_with_outlier()
+        result = MultiKrum().aggregate(updates, _context())
+        assert 99 not in result.accepted_client_ids
+        assert len(result.accepted_client_ids) == len(updates) - 1
+
+    def test_mkrum_respects_explicit_selection_size(self):
+        updates = _cluster_with_outlier()
+        result = MultiKrum(num_selected=3).aggregate(updates, _context())
+        assert len(result.accepted_client_ids) == 3
+
+    def test_mkrum_aggregate_is_mean_of_selected(self):
+        updates = _cluster_with_outlier()
+        result = MultiKrum(num_selected=4).aggregate(updates, _context())
+        chosen = [u for u in updates if u.client_id in result.accepted_client_ids]
+        expected = np.stack([u.parameters for u in chosen]).mean(axis=0)
+        np.testing.assert_allclose(result.new_params, expected)
+
+    def test_identical_sybil_updates_can_pass_mkrum(self):
+        # Two identical malicious updates close to the benign cluster should
+        # not be rejected purely for being identical.
+        rng = np.random.default_rng(0)
+        updates = [
+            ModelUpdate(client_id=i, parameters=1.0 + 0.05 * rng.standard_normal(6), num_samples=5)
+            for i in range(6)
+        ]
+        sybil = 1.0 + 0.05 * rng.standard_normal(6)
+        updates += [
+            ModelUpdate(client_id=100 + i, parameters=sybil.copy(), num_samples=5, is_malicious=True)
+            for i in range(2)
+        ]
+        result = MultiKrum().aggregate(updates, _context(6, num_malicious=2))
+        assert any(cid >= 100 for cid in result.accepted_client_ids)
+
+
+class TestBulyan:
+    def test_excludes_outlier(self):
+        updates = _cluster_with_outlier()
+        result = Bulyan().aggregate(updates, _context())
+        assert 99 not in result.accepted_client_ids
+        assert np.all(np.abs(result.new_params - 1.0) < 0.2)
+
+    def test_selection_size_defaults_to_n_minus_2f(self):
+        updates = _cluster_with_outlier(num_benign=9)  # 10 updates, f=1
+        result = Bulyan().aggregate(updates, _context(num_malicious=1))
+        assert len(result.accepted_client_ids) == 8
+
+    def test_explicit_selection_and_trim(self):
+        updates = _cluster_with_outlier()
+        result = Bulyan(selection_size=5, trim=1).aggregate(updates, _context())
+        assert len(result.accepted_client_ids) == 5
+
+    def test_rejects_more_than_mkrum(self):
+        updates = _cluster_with_outlier(num_benign=9)
+        context = _context(num_malicious=2)
+        mkrum_accepted = len(MultiKrum().aggregate(updates, context).accepted_client_ids)
+        bulyan_accepted = len(Bulyan().aggregate(updates, context).accepted_client_ids)
+        assert bulyan_accepted < mkrum_accepted
+
+
+class TestStatisticalDefenses:
+    def test_median_per_coordinate(self):
+        updates = [
+            ModelUpdate(client_id=0, parameters=np.array([1.0, 10.0]), num_samples=1),
+            ModelUpdate(client_id=1, parameters=np.array([2.0, 20.0]), num_samples=1),
+            ModelUpdate(client_id=2, parameters=np.array([100.0, -5.0]), num_samples=1),
+        ]
+        result = Median().aggregate(updates, _context(2))
+        np.testing.assert_allclose(result.new_params, [2.0, 10.0])
+        assert result.accepted_client_ids is None
+
+    def test_median_resists_large_outlier(self):
+        updates = _cluster_with_outlier()
+        result = Median().aggregate(updates, _context())
+        assert np.all(np.abs(result.new_params - 1.0) < 0.2)
+
+    def test_trimmed_mean_removes_extremes(self):
+        updates = [
+            ModelUpdate(client_id=i, parameters=np.array([float(v)]), num_samples=1)
+            for i, v in enumerate([0.0, 1.0, 2.0, 3.0, 100.0])
+        ]
+        result = TrimmedMean().aggregate(updates, _context(1, num_malicious=1))
+        np.testing.assert_allclose(result.new_params, [2.0])
+
+    def test_trimmed_mean_zero_trim_equals_mean(self):
+        updates = [
+            ModelUpdate(client_id=i, parameters=np.array([float(i)]), num_samples=1)
+            for i in range(4)
+        ]
+        result = TrimmedMean(trim_ratio=0.0).aggregate(updates, _context(1))
+        np.testing.assert_allclose(result.new_params, [1.5])
+
+    def test_trimmed_mean_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            TrimmedMean(trim_ratio=0.6)
+
+    def test_trimmed_mean_bounded_by_sorted_interior(self):
+        updates = _cluster_with_outlier()
+        result = TrimmedMean().aggregate(updates, _context())
+        matrix = np.stack([u.parameters for u in updates])
+        assert np.all(result.new_params <= matrix.max(axis=0))
+        assert np.all(result.new_params >= matrix.min(axis=0))
+        assert np.all(result.new_params < 10.0)
+
+
+class TestFoolsGold:
+    def test_downweights_identical_sybils(self):
+        rng = np.random.default_rng(0)
+        context = _context(8)
+        benign = [
+            ModelUpdate(client_id=i, parameters=rng.standard_normal(8), num_samples=5)
+            for i in range(5)
+        ]
+        sybil_vector = rng.standard_normal(8)
+        sybils = [
+            ModelUpdate(client_id=100 + i, parameters=sybil_vector.copy(), num_samples=5,
+                        is_malicious=True)
+            for i in range(3)
+        ]
+        defense = FoolsGold()
+        result = defense.aggregate(benign + sybils, context)
+        sybil_weights = [result.scores[100 + i] for i in range(3)]
+        benign_weights = [result.scores[i] for i in range(5)]
+        assert max(sybil_weights) < max(benign_weights)
+
+    def test_reset_clears_history(self):
+        defense = FoolsGold()
+        updates = _cluster_with_outlier()
+        defense.aggregate(updates, _context())
+        assert defense._history
+        defense.reset()
+        assert not defense._history
+
+
+class TestRegistry:
+    def test_all_registered_names_build(self):
+        for name in available_defenses():
+            assert build_defense(name) is not None
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            build_defense("does-not-exist")
+
+    def test_kwargs_forwarded(self):
+        defense = build_defense("mkrum", num_selected=4)
+        assert defense.num_selected == 4
+
+    def test_selects_updates_flags(self):
+        assert build_defense("mkrum").selects_updates
+        assert build_defense("bulyan").selects_updates
+        assert build_defense("refd").selects_updates
+        assert not build_defense("median").selects_updates
+        assert not build_defense("trmean").selects_updates

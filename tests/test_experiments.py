@@ -1,0 +1,223 @@
+"""Tests for the experiment harness: config, presets, runner and scenarios."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    ExperimentRunner,
+    benchmark_scale,
+    build_simulation,
+    paper_scale,
+    run_experiment,
+    scenarios,
+    smoke_scale,
+)
+from repro.utils import format_table, spawn_rngs
+
+
+class TestExperimentConfig:
+    def test_defaults_are_valid(self):
+        config = ExperimentConfig()
+        assert config.defense == "fedavg"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"train_size": 10, "num_clients": 100},
+            {"malicious_fraction": 1.0},
+            {"beta": 0.0},
+            {"num_rounds": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ExperimentConfig(**kwargs)
+
+    def test_with_overrides(self):
+        config = ExperimentConfig().with_overrides(attack="lie", defense="mkrum")
+        assert config.attack == "lie" and config.defense == "mkrum"
+
+    def test_clean_variant_removes_attack_and_defense(self):
+        config = ExperimentConfig(attack="dfa-r", defense="bulyan", malicious_fraction=0.3)
+        clean = config.clean_variant()
+        assert clean.attack is None
+        assert clean.defense == "fedavg"
+        assert clean.malicious_fraction == 0.0
+
+    def test_baseline_key_ignores_attack_and_defense(self):
+        a = ExperimentConfig(attack="dfa-r", defense="bulyan")
+        b = ExperimentConfig(attack="lie", defense="median")
+        assert a.baseline_key() == b.baseline_key()
+
+    def test_baseline_key_sensitive_to_dataset_settings(self):
+        a = ExperimentConfig(train_size=600)
+        b = ExperimentConfig(train_size=700)
+        assert a.baseline_key() != b.baseline_key()
+
+    def test_to_dict_roundtrip_fields(self):
+        config = ExperimentConfig(attack="lie")
+        data = config.to_dict()
+        assert data["attack"] == "lie"
+        assert data["num_clients"] == config.num_clients
+
+
+class TestPresets:
+    def test_benchmark_scale_is_small(self):
+        config = benchmark_scale("cifar-10")
+        assert config.train_size <= 500
+        assert config.image_size <= 16
+        assert config.architecture == "small-cnn"
+
+    def test_smoke_scale_is_smaller_than_benchmark(self):
+        assert smoke_scale().train_size < benchmark_scale().train_size
+
+    def test_paper_scale_matches_section_4a(self):
+        config = paper_scale("fashion-mnist")
+        assert config.num_clients == 100
+        assert config.clients_per_round == 10
+        assert config.malicious_fraction == 0.2
+        assert config.train_size == 6000
+        assert config.num_synthetic == 50
+
+    def test_paper_scale_synthesis_epochs_per_dataset(self):
+        assert paper_scale("fashion-mnist").synthesis_epochs == 5
+        assert paper_scale("cifar-10").synthesis_epochs == 10
+
+    def test_overrides_are_applied(self):
+        config = benchmark_scale("svhn", num_rounds=3, attack="dfa-g")
+        assert config.num_rounds == 3 and config.attack == "dfa-g"
+
+
+class TestRunner:
+    def test_build_simulation_matches_config(self):
+        config = smoke_scale("fashion-mnist", attack="lie", defense="mkrum")
+        simulation = build_simulation(config)
+        assert simulation.num_clients == config.num_clients
+        assert simulation.attack is not None and simulation.attack.name == "lie"
+        assert simulation.server.defense.name == "mkrum"
+
+    def test_run_experiment_without_baseline(self):
+        config = smoke_scale("fashion-mnist", attack="lie", defense="mkrum")
+        result = run_experiment(config)
+        assert result.asr is None
+        assert len(result.records) == config.num_rounds
+        assert result.dpr is None or 0.0 <= result.dpr <= 100.0
+
+    def test_run_experiment_with_baseline_computes_asr(self):
+        config = smoke_scale("fashion-mnist", attack="lie", defense="mkrum")
+        result = run_experiment(config, baseline_accuracy=0.5)
+        assert result.asr is not None
+
+    def test_runner_caches_baselines(self):
+        runner = ExperimentRunner()
+        config_a = smoke_scale("fashion-mnist", attack="lie", defense="mkrum")
+        config_b = smoke_scale("fashion-mnist", attack="fang", defense="median")
+        baseline_a = runner.baseline_accuracy(config_a)
+        baseline_b = runner.baseline_accuracy(config_b)
+        assert baseline_a == baseline_b
+        assert len(runner._baseline_cache) == 1
+
+    def test_runner_run_populates_asr_and_baseline(self):
+        runner = ExperimentRunner()
+        result = runner.run(smoke_scale("fashion-mnist", attack="fang", defense="trmean"))
+        assert result.baseline_accuracy is not None
+        assert result.asr is not None
+
+    def test_dfa_config_flags_reach_attack(self):
+        config = smoke_scale(
+            "fashion-mnist",
+            attack="dfa-r",
+            defense="mkrum",
+            train_synthesizer=False,
+            use_regularization=False,
+            num_synthetic=4,
+        )
+        simulation = build_simulation(config)
+        assert simulation.attack.hyper.train_synthesizer is False
+        assert simulation.attack.hyper.use_regularization is False
+        assert simulation.attack.hyper.num_synthetic == 4
+
+    def test_dfa_synthesis_losses_recorded(self):
+        config = smoke_scale("fashion-mnist", attack="dfa-r", defense="fedavg")
+        result = run_experiment(config)
+        assert len(result.attack_synthesis_losses) >= 1
+
+
+class TestScenarios:
+    def test_table2_covers_full_grid(self):
+        scenario_list = scenarios.table2_scenarios(smoke_scale)
+        assert len(scenario_list) == 3 * 4 * 5
+        labels = [label for label, _ in scenario_list]
+        assert len(set(labels)) == len(labels)
+
+    def test_fig4_uses_only_selecting_defenses(self):
+        for _, config in scenarios.fig4_scenarios(smoke_scale):
+            assert config.defense in ("mkrum", "bulyan")
+
+    def test_fig5_sweeps_beta(self):
+        betas = {config.beta for _, config in scenarios.fig5_scenarios(smoke_scale)}
+        assert betas == {0.1, 0.5, 0.9}
+
+    def test_fig6_sweeps_attacker_fraction(self):
+        fractions = {config.malicious_fraction for _, config in scenarios.fig6_scenarios(smoke_scale)}
+        assert fractions == {0.1, 0.2, 0.3}
+
+    def test_fig7_only_dfa_attacks(self):
+        for _, config in scenarios.fig7_scenarios(smoke_scale):
+            assert config.attack in ("dfa-r", "dfa-g")
+
+    def test_table3_toggles_synthesizer_training(self):
+        modes = {config.train_synthesizer for _, config in scenarios.table3_scenarios(smoke_scale)}
+        assert modes == {True, False}
+
+    def test_table4_toggles_regularization(self):
+        modes = {config.use_regularization for _, config in scenarios.table4_scenarios(smoke_scale)}
+        assert modes == {True, False}
+
+    def test_fig8_includes_real_data_comparator(self):
+        attacks = {config.attack for _, config in scenarios.fig8_scenarios(smoke_scale)}
+        assert attacks == {"dfa-r", "dfa-g", "real-data"}
+
+    def test_fig9_includes_iid_and_refd(self):
+        configs = [config for _, config in scenarios.fig9_scenarios(smoke_scale)]
+        assert any(config.beta is None for config in configs)
+        assert {config.defense for config in configs} == {"refd", "bulyan"}
+
+    def test_fig10_includes_refd_among_defenses(self):
+        defenses = {config.defense for _, config in scenarios.fig10_scenarios(smoke_scale)}
+        assert "refd" in defenses and "mkrum" in defenses
+
+    def test_synthetic_set_size_scenarios(self):
+        sizes = {config.num_synthetic for _, config in scenarios.synthetic_set_size_scenarios(smoke_scale)}
+        assert sizes == {20, 50, 100}
+
+    def test_random_weights_motivation(self):
+        for _, config in scenarios.random_weights_motivation(smoke_scale):
+            assert config.attack == "random-weights"
+
+
+class TestUtils:
+    def test_spawn_rngs_independent_and_deterministic(self):
+        rngs_a = spawn_rngs(3, 4)
+        rngs_b = spawn_rngs(3, 4)
+        assert len(rngs_a) == 4
+        for a, b in zip(rngs_a, rngs_b):
+            assert a.random() == b.random()
+
+    def test_spawn_rngs_rejects_zero(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, 0)
+
+    def test_format_table_renders_none_and_floats(self):
+        table = format_table(["name", "asr", "dpr"], [["lie", 12.345, None]])
+        assert "12.35" in table and "N/A" in table
+        assert table.splitlines()[1].startswith("-")
+
+    def test_format_table_alignment(self):
+        table = format_table(["a"], [["long-value"], ["x"]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert len(lines[2]) == len(lines[3])

@@ -1,0 +1,196 @@
+"""Tests for the FL core: types, training loops, clients, aggregation, selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import ArrayDataset
+from repro.fl.aggregation import fedavg, stack_updates, unweighted_average
+from repro.fl.client import BenignClient
+from repro.fl.selection import RoundRobinSelector, UniformSelector
+from repro.fl.training import evaluate_model, predict_proba, train_local_model, train_on_arrays
+from repro.fl.types import (
+    AggregationResult,
+    LocalTrainingConfig,
+    ModelUpdate,
+    RoundRecord,
+)
+from repro.nn.serialization import get_flat_params
+
+
+class TestLocalTrainingConfig:
+    def test_defaults_valid(self):
+        config = LocalTrainingConfig()
+        assert config.local_epochs == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"local_epochs": 0},
+            {"batch_size": 0},
+            {"learning_rate": 0.0},
+        ],
+    )
+    def test_invalid_values(self, kwargs):
+        with pytest.raises(ValueError):
+            LocalTrainingConfig(**kwargs)
+
+
+class TestModelUpdate:
+    def test_flattens_and_casts_parameters(self):
+        update = ModelUpdate(client_id=1, parameters=np.ones((2, 3), dtype=np.float32), num_samples=5)
+        assert update.parameters.shape == (6,)
+        assert update.parameters.dtype == np.float64
+
+    def test_rejects_nonpositive_samples(self):
+        with pytest.raises(ValueError):
+            ModelUpdate(client_id=1, parameters=np.ones(3), num_samples=0)
+
+
+class TestRoundRecord:
+    def test_num_malicious_selected(self):
+        record = RoundRecord(
+            round_number=0,
+            selected_client_ids=[1, 2, 3],
+            selected_malicious_ids=[2, 3],
+            accepted_client_ids=[1, 2],
+            accuracy=0.5,
+            test_loss=1.0,
+        )
+        assert record.num_malicious_selected == 2
+
+
+class TestTraining:
+    def test_train_on_arrays_reduces_loss(self, tiny_task, mlp_factory, rng):
+        model = mlp_factory()
+        images, labels = tiny_task.train.arrays()
+        config = LocalTrainingConfig(local_epochs=5, batch_size=32, learning_rate=0.2)
+        losses = train_on_arrays(model, images, labels, config, rng)
+        assert len(losses) == 5
+        assert losses[-1] < losses[0]
+
+    def test_extra_loss_hook_is_applied(self, tiny_task, mlp_factory, rng):
+        model = mlp_factory()
+        images, labels = tiny_task.train.arrays()
+        config = LocalTrainingConfig(local_epochs=1, batch_size=64, learning_rate=0.01)
+        calls = []
+
+        def extra(m):
+            calls.append(1)
+            from repro.nn.tensor import Tensor
+
+            return Tensor(np.array(0.0))
+
+        train_on_arrays(model, images, labels, config, rng, extra_loss=extra)
+        assert len(calls) >= 1
+
+    def test_train_local_model_on_subset(self, tiny_task, mlp_factory, rng, train_config):
+        model = mlp_factory()
+        shard = tiny_task.train.subset(range(40))
+        losses = train_local_model(model, shard, train_config, rng)
+        assert len(losses) == train_config.local_epochs
+
+    def test_evaluate_model_returns_accuracy_and_loss(self, tiny_task, mlp_factory):
+        accuracy, loss = evaluate_model(mlp_factory(), tiny_task.test)
+        assert 0.0 <= accuracy <= 1.0
+        assert loss > 0.0
+
+    def test_training_improves_accuracy(self, tiny_task, mlp_factory, rng):
+        model = mlp_factory()
+        before, _ = evaluate_model(model, tiny_task.test)
+        config = LocalTrainingConfig(local_epochs=20, batch_size=32, learning_rate=0.2)
+        train_local_model(model, tiny_task.train, config, rng)
+        after, _ = evaluate_model(model, tiny_task.test)
+        assert after > before
+        assert after > 0.4
+
+    def test_predict_proba_rows_sum_to_one(self, tiny_task, mlp_factory):
+        probabilities = predict_proba(mlp_factory(), tiny_task.test.arrays()[0])
+        assert probabilities.shape == (len(tiny_task.test), 10)
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0, atol=1e-5)
+
+
+class TestBenignClient:
+    def test_rejects_empty_shard(self, tiny_task, mlp_factory, train_config):
+        with pytest.raises(ValueError):
+            BenignClient(0, tiny_task.train.subset([]), mlp_factory, train_config)
+
+    def test_local_update_metadata(self, tiny_task, mlp_factory, train_config):
+        shard = tiny_task.train.subset(range(25))
+        client = BenignClient(3, shard, mlp_factory, train_config, seed=1)
+        global_params = get_flat_params(mlp_factory())
+        update = client.local_update(global_params, round_number=0)
+        assert update.client_id == 3
+        assert update.num_samples == 25
+        assert not update.is_malicious
+        assert update.parameters.shape == global_params.shape
+
+    def test_local_update_changes_parameters(self, tiny_task, mlp_factory, train_config):
+        shard = tiny_task.train.subset(range(30))
+        client = BenignClient(0, shard, mlp_factory, train_config, seed=1)
+        global_params = get_flat_params(mlp_factory())
+        update = client.local_update(global_params, round_number=0)
+        assert not np.allclose(update.parameters, global_params)
+
+
+class TestAggregation:
+    def _updates(self):
+        return [
+            ModelUpdate(client_id=0, parameters=np.array([1.0, 1.0]), num_samples=1),
+            ModelUpdate(client_id=1, parameters=np.array([3.0, 5.0]), num_samples=3),
+        ]
+
+    def test_stack_updates_shape(self):
+        assert stack_updates(self._updates()).shape == (2, 2)
+
+    def test_stack_rejects_empty(self):
+        with pytest.raises(ValueError):
+            stack_updates([])
+
+    def test_stack_rejects_mismatched_dims(self):
+        updates = [
+            ModelUpdate(client_id=0, parameters=np.ones(2), num_samples=1),
+            ModelUpdate(client_id=1, parameters=np.ones(3), num_samples=1),
+        ]
+        with pytest.raises(ValueError):
+            stack_updates(updates)
+
+    def test_fedavg_weighted_by_sample_counts(self):
+        aggregated = fedavg(self._updates())
+        np.testing.assert_allclose(aggregated, [(1 + 9) / 4, (1 + 15) / 4])
+
+    def test_unweighted_average(self):
+        aggregated = unweighted_average(self._updates())
+        np.testing.assert_allclose(aggregated, [2.0, 3.0])
+
+    def test_fedavg_single_update_is_identity(self):
+        update = ModelUpdate(client_id=0, parameters=np.array([2.0, -1.0]), num_samples=7)
+        np.testing.assert_allclose(fedavg([update]), [2.0, -1.0])
+
+
+class TestSelection:
+    def test_uniform_selects_requested_count(self, rng):
+        selected = UniformSelector().select(list(range(50)), 10, rng)
+        assert len(selected) == 10
+        assert len(set(selected)) == 10
+
+    def test_uniform_rejects_oversized_request(self, rng):
+        with pytest.raises(ValueError):
+            UniformSelector().select([1, 2, 3], 5, rng)
+
+    def test_uniform_is_seed_deterministic(self):
+        a = UniformSelector().select(list(range(100)), 10, np.random.default_rng(3))
+        b = UniformSelector().select(list(range(100)), 10, np.random.default_rng(3))
+        assert a == b
+
+    def test_round_robin_cycles_through_all_clients(self, rng):
+        selector = RoundRobinSelector()
+        seen = set()
+        for _ in range(5):
+            seen.update(selector.select(list(range(10)), 2, rng))
+        assert seen == set(range(10))
+
+    def test_round_robin_rejects_oversized_request(self, rng):
+        with pytest.raises(ValueError):
+            RoundRobinSelector().select([1, 2], 3, rng)

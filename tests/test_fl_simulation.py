@@ -1,0 +1,163 @@
+"""Integration tests for the Server and the end-to-end FederatedSimulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import DfaG, DfaHyperParameters, DfaR, LieAttack
+from repro.defenses import Median, MultiKrum, NoDefense, Refd
+from repro.fl.server import Server
+from repro.fl.simulation import FederatedSimulation
+from repro.fl.types import LocalTrainingConfig, ModelUpdate
+from repro.nn.serialization import get_flat_params
+
+
+def _fast_hyper():
+    return DfaHyperParameters(num_synthetic=6, synthesis_epochs=2, synthesis_lr=0.02)
+
+
+def _simulation(tiny_task, mlp_factory, **kwargs):
+    defaults = dict(
+        task=tiny_task,
+        model_factory=mlp_factory,
+        num_clients=10,
+        clients_per_round=5,
+        malicious_fraction=0.2,
+        beta=0.5,
+        training_config=LocalTrainingConfig(local_epochs=1, batch_size=16, learning_rate=0.1),
+        seed=0,
+    )
+    defaults.update(kwargs)
+    return FederatedSimulation(**defaults)
+
+
+class TestServer:
+    def test_aggregate_updates_global_model_and_history(self, mlp_factory):
+        server = Server(model_factory=mlp_factory, defense=NoDefense())
+        initial = server.distribute()
+        update = ModelUpdate(client_id=0, parameters=initial + 1.0, num_samples=5)
+        server.aggregate([update])
+        np.testing.assert_allclose(server.global_params, initial + 1.0)
+        np.testing.assert_allclose(server.previous_global_params, initial)
+        assert server.round_number == 1
+        np.testing.assert_allclose(get_flat_params(server.global_model), initial + 1.0)
+
+    def test_aggregate_rejects_empty(self, mlp_factory):
+        server = Server(model_factory=mlp_factory)
+        with pytest.raises(ValueError):
+            server.aggregate([])
+
+    def test_evaluate_returns_fractional_accuracy(self, mlp_factory, tiny_task):
+        server = Server(model_factory=mlp_factory)
+        accuracy, loss = server.evaluate(tiny_task.test)
+        assert 0.0 <= accuracy <= 1.0 and loss > 0.0
+
+
+class TestSimulationSetup:
+    def test_validation_errors(self, tiny_task, mlp_factory):
+        with pytest.raises(ValueError):
+            _simulation(tiny_task, mlp_factory, num_clients=1)
+        with pytest.raises(ValueError):
+            _simulation(tiny_task, mlp_factory, clients_per_round=20)
+        with pytest.raises(ValueError):
+            _simulation(tiny_task, mlp_factory, malicious_fraction=1.0)
+
+    def test_malicious_clients_have_no_benign_role(self, tiny_task, mlp_factory):
+        sim = _simulation(tiny_task, mlp_factory)
+        assert len(sim.malicious_client_ids) == 2
+        for cid in sim.malicious_client_ids:
+            assert cid not in sim.benign_clients
+            assert cid in sim.attacker_datasets
+
+    def test_all_clients_are_covered(self, tiny_task, mlp_factory):
+        sim = _simulation(tiny_task, mlp_factory)
+        assert len(sim.benign_clients) + len(sim.malicious_client_ids) == 10
+
+    def test_refd_gets_reference_split(self, tiny_task, mlp_factory):
+        sim = _simulation(tiny_task, mlp_factory, defense=Refd(num_rejected=1))
+        assert sim.server.reference_dataset is not None
+        assert len(sim.server.reference_dataset) + len(sim.eval_dataset) == len(tiny_task.test)
+
+    def test_non_refd_defense_uses_full_test_set(self, tiny_task, mlp_factory):
+        sim = _simulation(tiny_task, mlp_factory, defense=MultiKrum())
+        assert sim.server.reference_dataset is None
+        assert len(sim.eval_dataset) == len(tiny_task.test)
+
+
+class TestSimulationRounds:
+    def test_round_record_consistency_without_attack(self, tiny_task, mlp_factory):
+        sim = _simulation(tiny_task, mlp_factory, malicious_fraction=0.0)
+        record = sim.run_round()
+        assert len(record.selected_client_ids) == 5
+        assert record.selected_malicious_ids == []
+        assert 0.0 <= record.accuracy <= 1.0
+
+    def test_run_returns_one_record_per_round(self, tiny_task, mlp_factory):
+        sim = _simulation(tiny_task, mlp_factory, malicious_fraction=0.0)
+        result = sim.run(3)
+        assert len(result.records) == 3
+        assert [r.round_number for r in result.records] == [0, 1, 2]
+        assert result.final_params.shape == get_flat_params(mlp_factory()).shape
+
+    def test_run_rejects_zero_rounds(self, tiny_task, mlp_factory):
+        sim = _simulation(tiny_task, mlp_factory)
+        with pytest.raises(ValueError):
+            sim.run(0)
+
+    def test_accuracy_improves_over_clean_training(self, tiny_task, mlp_factory):
+        sim = _simulation(
+            tiny_task,
+            mlp_factory,
+            malicious_fraction=0.0,
+            training_config=LocalTrainingConfig(local_epochs=2, batch_size=16, learning_rate=0.2),
+        )
+        result = sim.run(8)
+        assert result.max_accuracy > 0.4
+        assert result.accuracies[-1] > result.accuracies[0]
+
+    def test_attack_receives_correct_number_of_slots(self, tiny_task, mlp_factory):
+        attack = DfaR(hyper=_fast_hyper(), seed=1)
+        sim = _simulation(tiny_task, mlp_factory, attack=attack, defense=MultiKrum(), seed=3)
+        result = sim.run(4)
+        for record in result.records:
+            if record.num_malicious_selected:
+                assert record.num_malicious_passed is not None
+                assert 0 <= record.num_malicious_passed <= record.num_malicious_selected
+
+    def test_statistical_defense_reports_no_pass_counts(self, tiny_task, mlp_factory):
+        attack = LieAttack()
+        sim = _simulation(tiny_task, mlp_factory, attack=attack, defense=Median(), seed=3)
+        result = sim.run(3)
+        assert all(record.num_malicious_passed is None for record in result.records)
+
+    def test_simulation_is_deterministic_given_seed(self, tiny_task, mlp_factory):
+        result_a = _simulation(tiny_task, mlp_factory, malicious_fraction=0.0, seed=5).run(3)
+        result_b = _simulation(tiny_task, mlp_factory, malicious_fraction=0.0, seed=5).run(3)
+        np.testing.assert_allclose(result_a.final_params, result_b.final_params)
+        assert result_a.accuracies == result_b.accuracies
+
+    def test_different_seeds_select_different_clients(self, tiny_task, mlp_factory):
+        records_a = _simulation(tiny_task, mlp_factory, malicious_fraction=0.0, seed=1).run(3).records
+        records_b = _simulation(tiny_task, mlp_factory, malicious_fraction=0.0, seed=2).run(3).records
+        selections_a = [tuple(r.selected_client_ids) for r in records_a]
+        selections_b = [tuple(r.selected_client_ids) for r in records_b]
+        assert selections_a != selections_b
+
+    def test_dfa_g_end_to_end_with_refd(self, tiny_task, mlp_factory):
+        attack = DfaG(hyper=_fast_hyper(), noise_dim=8, base_width=4, seed=2)
+        sim = _simulation(
+            tiny_task, mlp_factory, attack=attack, defense=Refd(num_rejected=1), seed=4
+        )
+        result = sim.run(3)
+        assert len(result.records) == 3
+        # REFD selects updates, so pass counts are defined whenever attackers
+        # were sampled.
+        for record in result.records:
+            if record.num_malicious_selected:
+                assert record.num_malicious_passed is not None
+
+    def test_iid_split_supported(self, tiny_task, mlp_factory):
+        sim = _simulation(tiny_task, mlp_factory, beta=None, malicious_fraction=0.0)
+        result = sim.run(2)
+        assert len(result.records) == 2

@@ -1,0 +1,103 @@
+"""Tests for the paper's metrics: ASR (Eq. 4), DPR (Eq. 5) and helper statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fl.types import RoundRecord
+from repro.metrics import (
+    attack_success_rate,
+    defense_pass_rate,
+    max_accuracy,
+    prediction_balance,
+    prediction_confidence,
+)
+
+
+def _record(round_number, accuracy, selected_malicious=(), passed=None):
+    return RoundRecord(
+        round_number=round_number,
+        selected_client_ids=list(range(5)),
+        selected_malicious_ids=list(selected_malicious),
+        accepted_client_ids=None,
+        accuracy=accuracy,
+        test_loss=1.0,
+        num_malicious_passed=passed,
+    )
+
+
+class TestAttackSuccessRate:
+    def test_matches_equation_four(self):
+        # acc = 0.5, acc_m = 0.25 => (0.5 - 0.25)/0.5 = 50 %.
+        assert attack_success_rate(0.5, 0.25) == pytest.approx(50.0)
+
+    def test_zero_when_attack_has_no_effect(self):
+        assert attack_success_rate(0.8, 0.8) == pytest.approx(0.0)
+
+    def test_negative_when_attacked_run_is_better(self):
+        assert attack_success_rate(0.5, 0.6) < 0.0
+
+    def test_invalid_clean_accuracy(self):
+        with pytest.raises(ValueError):
+            attack_success_rate(0.0, 0.5)
+        with pytest.raises(ValueError):
+            attack_success_rate(1.5, 0.5)
+
+    def test_invalid_attacked_accuracy(self):
+        with pytest.raises(ValueError):
+            attack_success_rate(0.5, -0.1)
+
+
+class TestDefensePassRate:
+    def test_aggregates_over_rounds(self):
+        records = [
+            _record(0, 0.5, selected_malicious=[1, 2], passed=1),
+            _record(1, 0.5, selected_malicious=[3], passed=1),
+            _record(2, 0.5, selected_malicious=[4, 5], passed=0),
+        ]
+        # 2 passed out of 5 selected => 40 %.
+        assert defense_pass_rate(records) == pytest.approx(40.0)
+
+    def test_none_when_defense_does_not_select(self):
+        records = [_record(0, 0.5, selected_malicious=[1], passed=None)]
+        assert defense_pass_rate(records) is None
+
+    def test_none_when_no_malicious_selected(self):
+        records = [_record(0, 0.5, selected_malicious=[], passed=0)]
+        assert defense_pass_rate(records) is None
+
+    def test_rounds_without_pass_info_are_skipped(self):
+        records = [
+            _record(0, 0.5, selected_malicious=[1], passed=None),
+            _record(1, 0.5, selected_malicious=[2, 3], passed=2),
+        ]
+        assert defense_pass_rate(records) == pytest.approx(100.0)
+
+
+class TestMaxAccuracy:
+    def test_returns_maximum(self):
+        records = [_record(i, acc) for i, acc in enumerate([0.2, 0.6, 0.4])]
+        assert max_accuracy(records) == pytest.approx(0.6)
+
+    def test_empty_records(self):
+        assert max_accuracy([]) == 0.0
+
+
+class TestPredictionStatistics:
+    def test_balance_uniform_predictions(self):
+        labels = [0, 1, 2, 3] * 5
+        assert prediction_balance(labels, 4) == 1.0
+
+    def test_balance_biased_predictions_lower(self):
+        biased = prediction_balance([0] * 20, 4)
+        uniform = prediction_balance([0, 1, 2, 3] * 5, 4)
+        assert biased < uniform
+
+    def test_confidence_mean_of_max(self):
+        probabilities = np.array([[0.7, 0.3], [0.5, 0.5]])
+        assert prediction_confidence(probabilities) == pytest.approx(0.6)
+
+    def test_confidence_rejects_1d(self):
+        with pytest.raises(ValueError):
+            prediction_confidence(np.array([0.5, 0.5]))

@@ -1,0 +1,166 @@
+"""Tests for classifier architectures, the generator, the filter net and the factory."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SyntheticImageSpec, make_synthetic_task
+from repro.models import (
+    CLASSIFIER_REGISTRY,
+    MLP,
+    CifarCNN,
+    FashionCNN,
+    FilterNet,
+    SmallCNN,
+    TCNNGenerator,
+    build_classifier,
+    build_classifier_for_task,
+    build_filter_for_task,
+    build_generator_for_task,
+    default_architecture_for_dataset,
+)
+from repro.nn.tensor import Tensor
+
+
+class TestClassifiers:
+    @pytest.mark.parametrize(
+        "cls,channels,size",
+        [
+            (FashionCNN, 1, 28),
+            (CifarCNN, 3, 32),
+            (SmallCNN, 1, 16),
+            (MLP, 1, 16),
+        ],
+    )
+    def test_output_shape(self, cls, channels, size):
+        model = cls(in_channels=channels, image_size=size, num_classes=10,
+                    rng=np.random.default_rng(0))
+        logits = model(Tensor(np.zeros((4, channels, size, size), dtype=np.float32)))
+        assert logits.shape == (4, 10)
+
+    def test_fashion_cnn_has_two_convs_one_dense(self):
+        model = FashionCNN(rng=np.random.default_rng(0))
+        names = [name for name, _ in model.named_parameters()]
+        conv_weights = [n for n in names if n.startswith("conv") and n.endswith("weight")]
+        fc_weights = [n for n in names if n.startswith("fc") and n.endswith("weight")]
+        assert len(conv_weights) == 2 and len(fc_weights) == 1
+
+    def test_cifar_cnn_has_six_convs_two_dense(self):
+        model = CifarCNN(rng=np.random.default_rng(0))
+        names = [name for name, _ in model.named_parameters()]
+        conv_weights = [n for n in names if n.startswith("conv") and n.endswith("weight")]
+        fc_weights = [n for n in names if n.startswith("fc") and n.endswith("weight")]
+        assert len(conv_weights) == 6 and len(fc_weights) == 2
+
+    def test_non_default_image_size_supported(self):
+        model = SmallCNN(in_channels=3, image_size=20, num_classes=7,
+                         rng=np.random.default_rng(0))
+        logits = model(Tensor(np.zeros((2, 3, 20, 20), dtype=np.float32)))
+        assert logits.shape == (2, 7)
+
+    def test_same_seed_gives_same_init(self):
+        a = SmallCNN(rng=np.random.default_rng(5))
+        b = SmallCNN(rng=np.random.default_rng(5))
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_gradients_reach_all_parameters(self):
+        model = SmallCNN(in_channels=1, image_size=12, width=4, rng=np.random.default_rng(0))
+        out = model(Tensor(np.random.default_rng(0).standard_normal((2, 1, 12, 12)).astype(np.float32)))
+        out.sum().backward()
+        assert all(p.grad is not None for p in model.parameters())
+
+
+class TestGenerator:
+    def test_output_shape_and_range(self):
+        gen = TCNNGenerator(noise_dim=16, out_channels=3, image_size=16, base_width=8,
+                            rng=np.random.default_rng(0))
+        noise = Tensor(gen.sample_noise(5, np.random.default_rng(1)))
+        images = gen(noise)
+        assert images.shape == (5, 3, 16, 16)
+        assert np.all(images.data <= 1.0) and np.all(images.data >= -1.0)
+
+    def test_rejects_image_size_not_divisible_by_four(self):
+        with pytest.raises(ValueError):
+            TCNNGenerator(image_size=30)
+
+    def test_generator_is_differentiable(self):
+        gen = TCNNGenerator(noise_dim=8, out_channels=1, image_size=12, base_width=4,
+                            rng=np.random.default_rng(0))
+        noise = Tensor(gen.sample_noise(3, np.random.default_rng(1)))
+        (gen(noise) ** 2).sum().backward()
+        assert all(p.grad is not None for p in gen.parameters())
+
+    def test_sample_noise_shape_and_determinism(self):
+        gen = TCNNGenerator(noise_dim=8, out_channels=1, image_size=12, base_width=4)
+        a = gen.sample_noise(4, np.random.default_rng(2))
+        b = gen.sample_noise(4, np.random.default_rng(2))
+        assert a.shape == (4, 8)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestFilterNet:
+    @pytest.mark.parametrize("kernel,stride", [(3, 1), (5, 1), (3, 2)])
+    def test_output_matches_classifier_input_size(self, kernel, stride):
+        net = FilterNet(channels=1, image_size=16, kernel_size=kernel, stride=stride,
+                        rng=np.random.default_rng(0))
+        dummy = Tensor(net.sample_dummy(4, np.random.default_rng(1)))
+        assert net(dummy).shape == (4, 1, 16, 16)
+
+    def test_dummy_shape_follows_conv_arithmetic(self):
+        net = FilterNet(channels=3, image_size=12, kernel_size=5, rng=np.random.default_rng(0))
+        assert net.dummy_shape() == (3, 16, 16)
+
+    def test_dummy_images_are_in_unit_interval(self):
+        net = FilterNet(channels=1, image_size=12, rng=np.random.default_rng(0))
+        dummy = net.sample_dummy(10, np.random.default_rng(1))
+        assert dummy.min() >= 0.0 and dummy.max() <= 1.0
+
+    def test_filter_is_differentiable(self):
+        net = FilterNet(channels=1, image_size=10, rng=np.random.default_rng(0))
+        dummy = Tensor(net.sample_dummy(2, np.random.default_rng(1)))
+        net(dummy).sum().backward()
+        assert all(p.grad is not None for p in net.parameters())
+
+
+class TestFactory:
+    def test_registry_contents(self):
+        assert {"fashion-cnn", "cifar-cnn", "small-cnn", "mlp"} <= set(CLASSIFIER_REGISTRY)
+
+    def test_default_architecture_mapping(self):
+        assert default_architecture_for_dataset("fashion-mnist") == "fashion-cnn"
+        assert default_architecture_for_dataset("cifar-10") == "cifar-cnn"
+        assert default_architecture_for_dataset("svhn") == "cifar-cnn"
+        assert default_architecture_for_dataset("unknown") == "small-cnn"
+
+    def test_build_classifier_unknown_raises(self):
+        with pytest.raises(KeyError):
+            build_classifier("resnet", 3, 32, 10)
+
+    def test_build_classifier_seeded_reproducibility(self):
+        a = build_classifier("small-cnn", 1, 16, 10, seed=3)
+        b = build_classifier("small-cnn", 1, 16, 10, seed=3)
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_build_for_task_matches_shapes(self):
+        spec = SyntheticImageSpec(name="t", channels=3, image_size=16)
+        task = make_synthetic_task(spec, 40, 20, seed=0)
+        model = build_classifier_for_task(task, architecture="small-cnn", seed=0)
+        logits = model(Tensor(task.train.images[:2]))
+        assert logits.shape == (2, 10)
+
+    def test_build_generator_for_task(self):
+        spec = SyntheticImageSpec(name="t", channels=3, image_size=16)
+        task = make_synthetic_task(spec, 40, 20, seed=0)
+        gen = build_generator_for_task(task, noise_dim=8, base_width=4, seed=0)
+        out = gen(Tensor(gen.sample_noise(2, np.random.default_rng(0))))
+        assert out.shape == (2, 3, 16, 16)
+
+    def test_build_filter_for_task(self):
+        spec = SyntheticImageSpec(name="t", channels=1, image_size=16)
+        task = make_synthetic_task(spec, 40, 20, seed=0)
+        filter_net = build_filter_for_task(task, kernel_size=3, seed=0)
+        dummy = Tensor(filter_net.sample_dummy(2, np.random.default_rng(0)))
+        assert filter_net(dummy).shape == (2, 1, 16, 16)

@@ -1,0 +1,278 @@
+"""Tests for convolution, pooling and loss primitives (values and gradients)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+from conftest import numerical_gradient
+
+
+class TestShapeArithmetic:
+    @pytest.mark.parametrize(
+        "size,kernel,stride,padding,expected",
+        [(28, 3, 1, 1, 28), (28, 3, 2, 1, 14), (32, 5, 1, 0, 28), (16, 3, 2, 1, 8)],
+    )
+    def test_conv_output_size(self, size, kernel, stride, padding, expected):
+        assert F.conv_output_size(size, kernel, stride, padding) == expected
+
+    @pytest.mark.parametrize(
+        "size,kernel,stride,padding,expected",
+        [(14, 4, 2, 1, 28), (7, 4, 2, 1, 14), (8, 4, 2, 1, 16), (4, 3, 1, 0, 6)],
+    )
+    def test_conv_transpose_output_size(self, size, kernel, stride, padding, expected):
+        assert F.conv_transpose_output_size(size, kernel, stride, padding) == expected
+
+    def test_conv_and_transpose_are_shape_inverses(self):
+        for size in (7, 8, 14, 16):
+            up = F.conv_transpose_output_size(size, 4, 2, 1)
+            down = F.conv_output_size(up, 4, 2, 1)
+            assert down == size
+
+
+class TestLinear:
+    def test_linear_matches_manual(self, rng):
+        x = Tensor(rng.standard_normal((5, 3)))
+        w = Tensor(rng.standard_normal((4, 3)))
+        b = Tensor(rng.standard_normal(4))
+        out = F.linear(x, w, b)
+        np.testing.assert_allclose(out.data, x.data @ w.data.T + b.data, atol=1e-6)
+
+    def test_linear_without_bias(self, rng):
+        x = Tensor(rng.standard_normal((5, 3)))
+        w = Tensor(rng.standard_normal((4, 3)))
+        np.testing.assert_allclose(F.linear(x, w).data, x.data @ w.data.T, atol=1e-6)
+
+
+class TestConv2d:
+    def test_identity_kernel_preserves_input(self):
+        x = Tensor(np.random.default_rng(0).standard_normal((1, 1, 5, 5)))
+        kernel = np.zeros((1, 1, 3, 3), dtype=np.float64)
+        kernel[0, 0, 1, 1] = 1.0
+        out = F.conv2d(x, Tensor(kernel), padding=1)
+        np.testing.assert_allclose(out.data, x.data, atol=1e-6)
+
+    def test_matches_naive_convolution(self, rng):
+        x = rng.standard_normal((2, 2, 5, 5))
+        w = rng.standard_normal((3, 2, 3, 3))
+        out = F.conv2d(Tensor(x), Tensor(w), stride=1, padding=0).data
+        naive = np.zeros((2, 3, 3, 3))
+        for n in range(2):
+            for o in range(3):
+                for i in range(3):
+                    for j in range(3):
+                        naive[n, o, i, j] = (x[n, :, i : i + 3, j : j + 3] * w[o]).sum()
+        np.testing.assert_allclose(out, naive, atol=1e-6)
+
+    def test_channel_mismatch_raises(self, rng):
+        x = Tensor(rng.standard_normal((1, 2, 5, 5)))
+        w = Tensor(rng.standard_normal((3, 4, 3, 3)))
+        with pytest.raises(ValueError):
+            F.conv2d(x, w)
+
+    def test_empty_output_raises(self, rng):
+        x = Tensor(rng.standard_normal((1, 1, 2, 2)))
+        w = Tensor(rng.standard_normal((1, 1, 5, 5)))
+        with pytest.raises(ValueError):
+            F.conv2d(x, w)
+
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1)])
+    def test_gradients(self, stride, padding, rng):
+        x = Tensor(rng.standard_normal((2, 2, 6, 6)), requires_grad=True)
+        w = Tensor(rng.standard_normal((3, 2, 3, 3)), requires_grad=True)
+        b = Tensor(rng.standard_normal(3), requires_grad=True)
+        out = F.conv2d(x, w, b, stride=stride, padding=padding)
+        (out * out).sum().backward()
+
+        def value():
+            o = F.conv2d(Tensor(x.data), Tensor(w.data), Tensor(b.data), stride=stride, padding=padding)
+            return float((o.data ** 2).sum())
+
+        np.testing.assert_allclose(numerical_gradient(value, x.data), x.grad, atol=1e-5)
+        np.testing.assert_allclose(numerical_gradient(value, w.data), w.grad, atol=1e-5)
+        np.testing.assert_allclose(numerical_gradient(value, b.data), b.grad, atol=1e-5)
+
+    def test_gradient_without_bias(self, rng):
+        x = Tensor(rng.standard_normal((1, 1, 5, 5)), requires_grad=True)
+        w = Tensor(rng.standard_normal((2, 1, 3, 3)), requires_grad=True)
+        F.conv2d(x, w, padding=1).sum().backward()
+        assert x.grad is not None and w.grad is not None
+
+
+class TestConvTranspose2d:
+    def test_output_shape(self, rng):
+        x = Tensor(rng.standard_normal((2, 3, 7, 7)))
+        w = Tensor(rng.standard_normal((3, 4, 4, 4)))
+        out = F.conv_transpose2d(x, w, stride=2, padding=1)
+        assert out.shape == (2, 4, 14, 14)
+
+    def test_is_adjoint_of_conv(self, rng):
+        # <conv(x), y> == <x, conv_transpose(y)> for matching geometry.
+        x = rng.standard_normal((1, 2, 8, 8))
+        y = rng.standard_normal((1, 3, 4, 4))
+        w = rng.standard_normal((3, 2, 4, 4))  # conv weight (out, in, k, k)
+        conv_x = F.conv2d(Tensor(x), Tensor(w), stride=2, padding=1).data
+        # conv_transpose expects weight shaped (in, out, k, k) w.r.t. its own input y.
+        convt_y = F.conv_transpose2d(Tensor(y), Tensor(w), stride=2, padding=1).data
+        lhs = float((conv_x * y).sum())
+        rhs = float((x * convt_y).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-6)
+
+    def test_channel_mismatch_raises(self, rng):
+        x = Tensor(rng.standard_normal((1, 2, 4, 4)))
+        w = Tensor(rng.standard_normal((3, 2, 4, 4)))
+        with pytest.raises(ValueError):
+            F.conv_transpose2d(x, w)
+
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (2, 1)])
+    def test_gradients(self, stride, padding, rng):
+        x = Tensor(rng.standard_normal((2, 3, 4, 4)), requires_grad=True)
+        w = Tensor(rng.standard_normal((3, 2, 4, 4)), requires_grad=True)
+        b = Tensor(rng.standard_normal(2), requires_grad=True)
+        out = F.conv_transpose2d(x, w, b, stride=stride, padding=padding)
+        (out * out).sum().backward()
+
+        def value():
+            o = F.conv_transpose2d(
+                Tensor(x.data), Tensor(w.data), Tensor(b.data), stride=stride, padding=padding
+            )
+            return float((o.data ** 2).sum())
+
+        np.testing.assert_allclose(numerical_gradient(value, x.data), x.grad, atol=1e-5)
+        np.testing.assert_allclose(numerical_gradient(value, w.data), w.grad, atol=1e-5)
+        np.testing.assert_allclose(numerical_gradient(value, b.data), b.grad, atol=1e-5)
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        out = F.max_pool2d(Tensor(x), 2).data
+        np.testing.assert_allclose(out[0, 0], [[5.0, 7.0], [13.0, 15.0]])
+
+    def test_avg_pool_values(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        out = F.avg_pool2d(Tensor(x), 2).data
+        np.testing.assert_allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_max_pool_gradient(self, rng):
+        x = Tensor(rng.standard_normal((2, 3, 6, 6)), requires_grad=True)
+        (F.max_pool2d(x, 2) ** 2).sum().backward()
+
+        def value():
+            return float((F.max_pool2d(Tensor(x.data), 2).data ** 2).sum())
+
+        np.testing.assert_allclose(numerical_gradient(value, x.data), x.grad, atol=1e-5)
+
+    def test_avg_pool_gradient(self, rng):
+        x = Tensor(rng.standard_normal((1, 2, 4, 4)), requires_grad=True)
+        (F.avg_pool2d(x, 2) ** 2).sum().backward()
+
+        def value():
+            return float((F.avg_pool2d(Tensor(x.data), 2).data ** 2).sum())
+
+        np.testing.assert_allclose(numerical_gradient(value, x.data), x.grad, atol=1e-5)
+
+    def test_pad2d_shape_and_gradient(self, rng):
+        x = Tensor(rng.standard_normal((1, 1, 3, 3)), requires_grad=True)
+        y = F.pad2d(x, 2)
+        assert y.shape == (1, 1, 7, 7)
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((1, 1, 3, 3)))
+
+
+class TestSoftmaxAndLosses:
+    def test_softmax_rows_sum_to_one(self, rng):
+        probs = F.softmax(Tensor(rng.standard_normal((6, 10)))).data
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(6), atol=1e-6)
+        assert np.all(probs >= 0)
+
+    def test_softmax_is_stable_for_large_logits(self):
+        logits = Tensor(np.array([[1000.0, 1000.0, 1000.0]]))
+        probs = F.softmax(logits).data
+        np.testing.assert_allclose(probs, np.full((1, 3), 1 / 3), atol=1e-6)
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        x = Tensor(rng.standard_normal((4, 7)))
+        np.testing.assert_allclose(
+            F.log_softmax(x).data, np.log(F.softmax(x).data), atol=1e-6
+        )
+
+    def test_softmax_gradient(self, rng):
+        x = Tensor(rng.standard_normal((3, 5)), requires_grad=True)
+        (F.softmax(x) ** 2).sum().backward()
+
+        def value():
+            return float((F.softmax(Tensor(x.data)).data ** 2).sum())
+
+        np.testing.assert_allclose(numerical_gradient(value, x.data), x.grad, atol=1e-6)
+
+    def test_one_hot(self):
+        encoded = F.one_hot(np.array([0, 2, 1]), 3)
+        np.testing.assert_allclose(encoded, np.eye(3)[[0, 2, 1]])
+
+    def test_cross_entropy_matches_manual(self, rng):
+        logits_data = rng.standard_normal((5, 4))
+        targets = np.array([0, 1, 2, 3, 1])
+        loss = F.cross_entropy(Tensor(logits_data), targets).item()
+        shifted = logits_data - logits_data.max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        expected = -log_probs[np.arange(5), targets].mean()
+        assert loss == pytest.approx(expected, rel=1e-6)
+
+    def test_cross_entropy_gradient(self, rng):
+        logits = Tensor(rng.standard_normal((6, 5)), requires_grad=True)
+        targets = rng.integers(0, 5, size=6)
+        F.cross_entropy(logits, targets).backward()
+
+        def value():
+            return float(F.cross_entropy(Tensor(logits.data), targets).item())
+
+        np.testing.assert_allclose(numerical_gradient(value, logits.data), logits.grad, atol=1e-7)
+
+    def test_cross_entropy_validates_inputs(self, rng):
+        logits = Tensor(rng.standard_normal((3, 4)))
+        with pytest.raises(ValueError):
+            F.cross_entropy(logits, np.array([0, 1]))
+        with pytest.raises(ValueError):
+            F.cross_entropy(logits, np.array([0, 1, 7]))
+
+    def test_nll_loss_equals_cross_entropy(self, rng):
+        logits_data = rng.standard_normal((6, 4))
+        targets = rng.integers(0, 4, size=6)
+        ce = F.cross_entropy(Tensor(logits_data), targets).item()
+        nll = F.nll_loss(F.log_softmax(Tensor(logits_data)), targets).item()
+        assert ce == pytest.approx(nll, rel=1e-5)
+
+    def test_soft_cross_entropy_uniform_target_gradient(self, rng):
+        logits = Tensor(rng.standard_normal((4, 6)), requires_grad=True)
+        uniform = np.full(6, 1.0 / 6.0)
+        F.soft_cross_entropy(logits, uniform).backward()
+
+        def value():
+            return float(F.soft_cross_entropy(Tensor(logits.data), uniform).item())
+
+        np.testing.assert_allclose(numerical_gradient(value, logits.data), logits.grad, atol=1e-7)
+
+    def test_soft_cross_entropy_minimized_by_uniform_logits(self):
+        uniform = np.full(4, 0.25)
+        flat = F.soft_cross_entropy(Tensor(np.zeros((2, 4))), uniform).item()
+        peaked = F.soft_cross_entropy(Tensor(np.array([[10.0, 0, 0, 0], [10.0, 0, 0, 0]])), uniform).item()
+        assert flat < peaked
+
+    def test_cross_entropy_equals_soft_cross_entropy_with_one_hot(self, rng):
+        logits_data = rng.standard_normal((5, 3))
+        targets = np.array([0, 2, 1, 1, 0])
+        hard = F.cross_entropy(Tensor(logits_data), targets).item()
+        soft = F.soft_cross_entropy(Tensor(logits_data), F.one_hot(targets, 3)).item()
+        assert hard == pytest.approx(soft, rel=1e-6)
+
+    def test_mse_loss_value_and_gradient(self, rng):
+        pred = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        target = rng.standard_normal((4, 3))
+        loss = F.mse_loss(pred, target)
+        assert loss.item() == pytest.approx(((pred.data - target) ** 2).mean(), rel=1e-6)
+        loss.backward()
+        np.testing.assert_allclose(pred.grad, 2 * (pred.data - target) / pred.data.size, atol=1e-7)

@@ -1,0 +1,206 @@
+"""Tests for the Module system, layers, containers and initialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.tensor import Tensor
+
+
+class TestModuleInfrastructure:
+    def test_parameter_registration_order_is_stable(self):
+        model_a = nn.Sequential(nn.Linear(4, 8, rng=np.random.default_rng(0)), nn.ReLU(),
+                                nn.Linear(8, 2, rng=np.random.default_rng(1)))
+        model_b = nn.Sequential(nn.Linear(4, 8, rng=np.random.default_rng(2)), nn.ReLU(),
+                                nn.Linear(8, 2, rng=np.random.default_rng(3)))
+        names_a = [name for name, _ in model_a.named_parameters()]
+        names_b = [name for name, _ in model_b.named_parameters()]
+        assert names_a == names_b
+        assert len(names_a) == 4  # two weights + two biases
+
+    def test_num_parameters(self):
+        layer = nn.Linear(3, 5)
+        assert layer.num_parameters() == 3 * 5 + 5
+
+    def test_zero_grad_clears_all(self):
+        layer = nn.Linear(3, 2)
+        out = layer(Tensor(np.ones((4, 3)))).sum()
+        out.backward()
+        assert all(p.grad is not None for p in layer.parameters())
+        layer.zero_grad()
+        assert all(p.grad is None for p in layer.parameters())
+
+    def test_requires_grad_toggle(self):
+        layer = nn.Linear(3, 2)
+        layer.requires_grad_(False)
+        assert all(not p.requires_grad for p in layer.parameters())
+        out = layer(Tensor(np.ones((1, 3)))).sum()
+        assert not out.requires_grad
+
+    def test_state_dict_roundtrip(self):
+        source = nn.Linear(4, 3, rng=np.random.default_rng(0))
+        target = nn.Linear(4, 3, rng=np.random.default_rng(9))
+        target.load_state_dict(source.state_dict())
+        for (_, p_src), (_, p_dst) in zip(source.named_parameters(), target.named_parameters()):
+            np.testing.assert_allclose(p_src.data, p_dst.data)
+
+    def test_state_dict_returns_copies(self):
+        layer = nn.Linear(2, 2)
+        state = layer.state_dict()
+        state["weight"][:] = 0.0
+        assert not np.allclose(layer.weight.data, 0.0)
+
+    def test_load_state_dict_missing_key_raises(self):
+        layer = nn.Linear(2, 2)
+        state = layer.state_dict()
+        del state["bias"]
+        with pytest.raises(KeyError):
+            layer.load_state_dict(state)
+
+    def test_load_state_dict_shape_mismatch_raises(self):
+        layer = nn.Linear(2, 2)
+        state = layer.state_dict()
+        state["weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            layer.load_state_dict(state)
+
+    def test_train_eval_propagates(self):
+        model = nn.Sequential(nn.Linear(2, 2), nn.Dropout(0.5), nn.Linear(2, 2))
+        model.eval()
+        assert all(not layer.training for layer in model)
+        model.train()
+        assert all(layer.training for layer in model)
+
+
+class TestLayers:
+    def test_linear_forward_shape(self):
+        layer = nn.Linear(6, 4)
+        assert layer(Tensor(np.zeros((3, 6)))).shape == (3, 4)
+
+    def test_linear_no_bias(self):
+        layer = nn.Linear(6, 4, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_conv2d_forward_shape(self):
+        layer = nn.Conv2d(3, 8, kernel_size=3, stride=2, padding=1)
+        assert layer(Tensor(np.zeros((2, 3, 16, 16)))).shape == (2, 8, 8, 8)
+
+    def test_conv_transpose2d_forward_shape(self):
+        layer = nn.ConvTranspose2d(8, 4, kernel_size=4, stride=2, padding=1)
+        assert layer(Tensor(np.zeros((2, 8, 7, 7)))).shape == (2, 4, 14, 14)
+
+    def test_flatten(self):
+        assert nn.Flatten()(Tensor(np.zeros((2, 3, 4, 4)))).shape == (2, 48)
+
+    def test_activation_modules_match_tensor_methods(self, rng):
+        x = Tensor(rng.standard_normal((3, 5)))
+        np.testing.assert_allclose(nn.ReLU()(x).data, x.relu().data)
+        np.testing.assert_allclose(nn.Tanh()(x).data, x.tanh().data)
+        np.testing.assert_allclose(nn.Sigmoid()(x).data, x.sigmoid().data)
+        np.testing.assert_allclose(nn.LeakyReLU(0.3)(x).data, x.leaky_relu(0.3).data)
+        np.testing.assert_allclose(nn.Softmax()(x).data, F.softmax(x).data)
+
+    def test_pooling_modules(self, rng):
+        x = Tensor(rng.standard_normal((1, 2, 8, 8)))
+        assert nn.MaxPool2d(2)(x).shape == (1, 2, 4, 4)
+        assert nn.AvgPool2d(2)(x).shape == (1, 2, 4, 4)
+
+    def test_dropout_train_vs_eval(self, rng):
+        dropout = nn.Dropout(0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((100, 100)))
+        out_train = dropout(x).data
+        assert np.any(out_train == 0.0)
+        # Inverted dropout keeps the expectation approximately constant.
+        assert out_train.mean() == pytest.approx(1.0, abs=0.05)
+        dropout.eval()
+        np.testing.assert_allclose(dropout(x).data, x.data)
+
+    def test_dropout_validates_probability(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+
+    def test_batchnorm_normalizes_in_train_mode(self, rng):
+        bn = nn.BatchNorm2d(4)
+        x = Tensor(rng.standard_normal((8, 4, 5, 5)) * 3.0 + 2.0)
+        out = bn(x).data
+        assert abs(out.mean()) < 0.1
+        assert out.std() == pytest.approx(1.0, abs=0.1)
+
+    def test_batchnorm_updates_running_stats_and_eval_uses_them(self, rng):
+        bn = nn.BatchNorm2d(2, momentum=0.5)
+        x = Tensor(rng.standard_normal((16, 2, 4, 4)) + 5.0)
+        bn(x)
+        assert np.all(bn._buffers["running_mean"] > 0.5)
+        bn.eval()
+        out = bn(Tensor(np.full((2, 2, 4, 4), 5.0))).data
+        assert np.all(np.isfinite(out))
+
+    def test_batchnorm_state_dict_includes_buffers(self):
+        bn = nn.BatchNorm2d(3)
+        state = bn.state_dict()
+        assert "running_mean" in state and "running_var" in state
+        fresh = nn.BatchNorm2d(3)
+        state["running_mean"] = np.full(3, 7.0, dtype=np.float32)
+        fresh.load_state_dict(state)
+        np.testing.assert_allclose(fresh._buffers["running_mean"], np.full(3, 7.0))
+
+    def test_sequential_iteration_and_len(self):
+        model = nn.Sequential(nn.Linear(2, 2), nn.ReLU())
+        assert len(model) == 2
+        assert isinstance(list(model)[1], nn.ReLU)
+
+    def test_sequential_trains_end_to_end(self, rng):
+        model = nn.Sequential(
+            nn.Linear(2, 16, rng=np.random.default_rng(0)),
+            nn.ReLU(),
+            nn.Linear(16, 2, rng=np.random.default_rng(1)),
+        )
+        optimizer = nn.Adam(model.parameters(), lr=0.02)
+        inputs = rng.standard_normal((128, 2)).astype(np.float32)
+        labels = (inputs[:, 0] > 0).astype(np.int64)
+        first_loss = None
+        for _ in range(60):
+            optimizer.zero_grad()
+            loss = F.cross_entropy(model(Tensor(inputs)), labels)
+            if first_loss is None:
+                first_loss = loss.item()
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < first_loss * 0.5
+        accuracy = (model(Tensor(inputs)).data.argmax(axis=1) == labels).mean()
+        assert accuracy > 0.9
+
+
+class TestInit:
+    def test_fan_in_out_linear(self):
+        assert init.calculate_fan_in_and_fan_out((8, 3)) == (3, 8)
+
+    def test_fan_in_out_conv(self):
+        assert init.calculate_fan_in_and_fan_out((16, 4, 3, 3)) == (36, 144)
+
+    def test_fan_rejects_1d(self):
+        with pytest.raises(ValueError):
+            init.calculate_fan_in_and_fan_out((5,))
+
+    def test_kaiming_uniform_bound(self, rng):
+        values = init.kaiming_uniform((64, 32), rng)
+        bound = np.sqrt(2.0) * np.sqrt(3.0 / 32)
+        assert values.max() <= bound and values.min() >= -bound
+        assert values.dtype == np.float32
+
+    def test_xavier_uniform_bound(self, rng):
+        values = init.xavier_uniform((64, 32), rng)
+        bound = np.sqrt(6.0 / 96)
+        assert values.max() <= bound and values.min() >= -bound
+
+    def test_normal_std(self, rng):
+        values = init.normal((2000,), rng, std=0.05)
+        assert values.std() == pytest.approx(0.05, rel=0.15)
+
+    def test_zeros(self):
+        assert np.all(init.zeros((3, 3)) == 0.0)

@@ -1,0 +1,129 @@
+"""Tests for the SGD and Adam optimizers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.modules import Parameter
+from repro.nn.optim import SGD, Adam
+from repro.nn.tensor import Tensor
+
+
+def _single_param(value: np.ndarray) -> Parameter:
+    return Parameter(np.asarray(value, dtype=np.float64))
+
+
+class TestOptimizerValidation:
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_nonpositive_lr_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([_single_param(np.ones(2))], lr=0.0)
+
+    def test_invalid_momentum_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([_single_param(np.ones(2))], lr=0.1, momentum=1.5)
+
+    def test_negative_weight_decay_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([_single_param(np.ones(2))], lr=0.1, weight_decay=-1.0)
+
+    def test_invalid_betas_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([_single_param(np.ones(2))], lr=0.1, betas=(1.0, 0.9))
+
+    def test_zero_grad_clears(self):
+        param = _single_param(np.ones(2))
+        param.grad = np.ones(2)
+        opt = SGD([param], lr=0.1)
+        opt.zero_grad()
+        assert param.grad is None
+
+    def test_step_skips_parameters_without_grad(self):
+        param = _single_param(np.ones(2))
+        SGD([param], lr=0.1).step()
+        np.testing.assert_allclose(param.data, np.ones(2))
+
+
+class TestSgdMath:
+    def test_vanilla_update_rule(self):
+        param = _single_param(np.array([1.0, 2.0]))
+        param.grad = np.array([0.5, -0.5])
+        SGD([param], lr=0.1).step()
+        np.testing.assert_allclose(param.data, [0.95, 2.05])
+
+    def test_weight_decay_added_to_gradient(self):
+        param = _single_param(np.array([1.0]))
+        param.grad = np.array([0.0])
+        SGD([param], lr=0.1, weight_decay=0.5).step()
+        np.testing.assert_allclose(param.data, [1.0 - 0.1 * 0.5])
+
+    def test_momentum_accumulates(self):
+        param = _single_param(np.array([0.0]))
+        opt = SGD([param], lr=1.0, momentum=0.9)
+        param.grad = np.array([1.0])
+        opt.step()  # velocity = 1, param = -1
+        param.grad = np.array([1.0])
+        opt.step()  # velocity = 1.9, param = -2.9
+        np.testing.assert_allclose(param.data, [-2.9])
+
+    def test_sgd_minimizes_quadratic(self):
+        param = _single_param(np.array([5.0]))
+        opt = SGD([param], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            loss = ((Tensor(np.zeros(1)) - param) ** 2).sum() if False else (param * param).sum()
+            loss.backward()
+            opt.step()
+        assert abs(param.data[0]) < 1e-4
+
+
+class TestAdam:
+    def test_first_step_moves_by_about_lr(self):
+        param = _single_param(np.array([1.0]))
+        param.grad = np.array([10.0])
+        Adam([param], lr=0.01).step()
+        # Bias-corrected Adam moves by ~lr regardless of gradient scale.
+        assert param.data[0] == pytest.approx(1.0 - 0.01, abs=1e-4)
+
+    def test_adam_minimizes_quadratic_faster_than_plain_value(self):
+        param = _single_param(np.array([3.0, -4.0]))
+        opt = Adam([param], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            (param * param).sum().backward()
+            opt.step()
+        np.testing.assert_allclose(param.data, [0.0, 0.0], atol=1e-2)
+
+    def test_adam_with_weight_decay_shrinks_parameters(self):
+        param = _single_param(np.array([5.0]))
+        opt = Adam([param], lr=0.05, weight_decay=1.0)
+        for _ in range(50):
+            opt.zero_grad()
+            param.grad = np.array([0.0])
+            opt.step()
+        assert abs(param.data[0]) < 5.0
+
+    def test_adam_trains_classifier_better_than_initial(self, rng):
+        model = nn.Sequential(
+            nn.Linear(4, 16, rng=np.random.default_rng(2)),
+            nn.ReLU(),
+            nn.Linear(16, 3, rng=np.random.default_rng(3)),
+        )
+        inputs = rng.standard_normal((90, 4)).astype(np.float32)
+        labels = rng.integers(0, 3, size=90)
+        # Make labels learnable: correlate with the argmax of the first 3 features.
+        labels = inputs[:, :3].argmax(axis=1)
+        initial = F.cross_entropy(model(Tensor(inputs)), labels).item()
+        opt = Adam(model.parameters(), lr=0.02)
+        for _ in range(80):
+            opt.zero_grad()
+            loss = F.cross_entropy(model(Tensor(inputs)), labels)
+            loss.backward()
+            opt.step()
+        assert loss.item() < initial * 0.5

@@ -1,0 +1,150 @@
+"""Tests for the Embedding / GRU building blocks of the text extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.recurrent import GRU, Embedding, GRUCell
+from repro.nn.tensor import Tensor
+
+from conftest import numerical_gradient
+
+
+class TestEmbedding:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Embedding(0, 4)
+
+    def test_hard_lookup_shape_and_values(self):
+        embedding = Embedding(6, 3, rng=np.random.default_rng(0))
+        tokens = np.array([[0, 5], [2, 2]])
+        out = embedding(tokens)
+        assert out.shape == (2, 2, 3)
+        np.testing.assert_allclose(out.data[0, 1], embedding.weight.data[5])
+
+    def test_out_of_range_token_rejected(self):
+        embedding = Embedding(4, 3)
+        with pytest.raises(ValueError):
+            embedding(np.array([[4]]))
+
+    def test_hard_lookup_gradient_accumulates_per_token(self):
+        embedding = Embedding(5, 2, rng=np.random.default_rng(0))
+        tokens = np.array([[1, 1, 3]])
+        embedding(tokens).sum().backward()
+        grad = embedding.weight.grad
+        np.testing.assert_allclose(grad[1], [2.0, 2.0])
+        np.testing.assert_allclose(grad[3], [1.0, 1.0])
+        np.testing.assert_allclose(grad[0], [0.0, 0.0])
+
+    def test_soft_lookup_matches_expected_embedding(self):
+        embedding = Embedding(4, 3, rng=np.random.default_rng(0))
+        soft = np.zeros((2, 1, 4), dtype=np.float64)
+        soft[:, 0, 2] = 0.5
+        soft[:, 0, 3] = 0.5
+        out = embedding(Tensor(soft))
+        expected = 0.5 * (embedding.weight.data[2] + embedding.weight.data[3])
+        np.testing.assert_allclose(out.data[0, 0], expected, atol=1e-6)
+
+    def test_soft_lookup_wrong_vocab_rejected(self):
+        embedding = Embedding(4, 3)
+        with pytest.raises(ValueError):
+            embedding(Tensor(np.zeros((2, 5))))
+
+    def test_soft_lookup_is_differentiable_wrt_distribution(self):
+        embedding = Embedding(4, 3, rng=np.random.default_rng(0))
+        soft = Tensor(np.random.default_rng(1).random((2, 4)), requires_grad=True)
+        embedding(soft).sum().backward()
+        assert soft.grad is not None and soft.grad.shape == (2, 4)
+
+
+class TestGRUCell:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GRUCell(0, 4)
+
+    def test_output_shape_and_default_hidden(self):
+        cell = GRUCell(5, 7, rng=np.random.default_rng(0))
+        out = cell(Tensor(np.zeros((3, 5), dtype=np.float32)))
+        assert out.shape == (3, 7)
+
+    def test_hidden_state_is_carried(self, rng):
+        cell = GRUCell(4, 4, rng=np.random.default_rng(0))
+        x = Tensor(rng.standard_normal((2, 4)).astype(np.float32))
+        h1 = cell(x)
+        h2 = cell(x, h1)
+        assert not np.allclose(h1.data, h2.data)
+
+    def test_gradient_flows_to_parameters_and_input(self, rng):
+        cell = GRUCell(3, 3, rng=np.random.default_rng(0))
+        x = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        cell(x).sum().backward()
+        assert x.grad is not None
+        assert all(p.grad is not None for p in cell.parameters())
+
+    def test_gradient_check_against_numerical(self, rng):
+        cell = GRUCell(2, 2, rng=np.random.default_rng(0))
+        x = Tensor(rng.standard_normal((2, 2)), requires_grad=True)
+        h = Tensor(rng.standard_normal((2, 2)), requires_grad=True)
+        (cell(x, h) ** 2).sum().backward()
+
+        def value():
+            return float((cell(Tensor(x.data), Tensor(h.data)).data ** 2).sum())
+
+        np.testing.assert_allclose(numerical_gradient(value, x.data), x.grad, atol=1e-4)
+        np.testing.assert_allclose(numerical_gradient(value, h.data), h.grad, atol=1e-4)
+
+
+class TestGRU:
+    def test_rejects_non_3d_input(self):
+        gru = GRU(3, 4)
+        with pytest.raises(ValueError):
+            gru(Tensor(np.zeros((2, 3))))
+
+    def test_output_shapes(self, rng):
+        gru = GRU(3, 5, rng=np.random.default_rng(0))
+        sequence = Tensor(rng.standard_normal((2, 6, 3)).astype(np.float32))
+        outputs, final = gru(sequence)
+        assert outputs.shape == (2, 6, 5)
+        assert final.shape == (2, 5)
+        np.testing.assert_allclose(outputs.data[:, -1, :], final.data, atol=1e-6)
+
+    def test_backward_through_time_reaches_parameters(self, rng):
+        gru = GRU(3, 4, rng=np.random.default_rng(0))
+        sequence = Tensor(rng.standard_normal((2, 5, 3)), requires_grad=True)
+        outputs, _ = gru(sequence)
+        (outputs ** 2).sum().backward()
+        assert sequence.grad is not None
+        assert all(p.grad is not None for p in gru.parameters())
+
+    def test_sequence_classifier_learns_order_sensitive_task(self, rng):
+        # Classify whether the first or the second half of the sequence has
+        # the larger mean — requires integrating information over time.
+        vocab, length, hidden = 10, 8, 16
+        embedding = Embedding(vocab, 8, rng=np.random.default_rng(0))
+        gru = GRU(8, hidden, rng=np.random.default_rng(1))
+        head = nn.Linear(hidden, 2, rng=np.random.default_rng(2))
+        parameters = embedding.parameters() + gru.parameters() + head.parameters()
+        optimizer = nn.Adam(parameters, lr=0.01)
+
+        tokens = rng.integers(0, vocab, size=(120, length))
+        labels = (tokens[:, : length // 2].mean(axis=1) > tokens[:, length // 2 :].mean(axis=1)).astype(int)
+
+        def forward(batch_tokens):
+            embedded = embedding(batch_tokens)
+            _, final = gru(embedded)
+            return head(final)
+
+        first_loss = None
+        for _ in range(60):
+            optimizer.zero_grad()
+            loss = F.cross_entropy(forward(tokens), labels)
+            if first_loss is None:
+                first_loss = loss.item()
+            loss.backward()
+            optimizer.step()
+        accuracy = (forward(tokens).data.argmax(axis=1) == labels).mean()
+        assert loss.item() < first_loss
+        assert accuracy > 0.75

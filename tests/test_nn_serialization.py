@@ -1,0 +1,115 @@
+"""Tests for flat-parameter serialization (round trips and error handling)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import SmallCNN
+from repro.nn.serialization import (
+    get_flat_params,
+    parameter_shapes,
+    set_flat_params,
+    state_dict_to_vector,
+    vector_to_state_dict,
+    clone_state_dict,
+)
+
+
+def _make_model(seed: int = 0):
+    return nn.Sequential(
+        nn.Linear(6, 8, rng=np.random.default_rng(seed)),
+        nn.ReLU(),
+        nn.Linear(8, 3, rng=np.random.default_rng(seed + 1)),
+    )
+
+
+class TestFlatParams:
+    def test_get_flat_params_length(self):
+        model = _make_model()
+        assert get_flat_params(model).size == model.num_parameters()
+
+    def test_roundtrip_preserves_values(self):
+        model = _make_model(0)
+        vector = get_flat_params(model)
+        other = _make_model(5)
+        set_flat_params(other, vector)
+        np.testing.assert_allclose(get_flat_params(other), vector)
+
+    def test_set_flat_params_wrong_size_raises(self):
+        model = _make_model()
+        with pytest.raises(ValueError):
+            set_flat_params(model, np.zeros(3))
+
+    def test_set_flat_params_copies_data(self):
+        model = _make_model()
+        vector = np.zeros(model.num_parameters())
+        set_flat_params(model, vector)
+        vector[:] = 5.0
+        assert np.all(get_flat_params(model) == 0.0)
+
+    def test_roundtrip_on_cnn(self):
+        model = SmallCNN(in_channels=1, image_size=12, num_classes=10, width=4,
+                         rng=np.random.default_rng(0))
+        vector = get_flat_params(model)
+        clone = SmallCNN(in_channels=1, image_size=12, num_classes=10, width=4,
+                         rng=np.random.default_rng(1))
+        set_flat_params(clone, vector)
+        np.testing.assert_allclose(get_flat_params(clone), vector)
+
+    def test_parameter_shapes_match_named_parameters(self):
+        model = _make_model()
+        shapes = parameter_shapes(model)
+        for name, param in model.named_parameters():
+            assert shapes[name] == param.data.shape
+
+
+class TestStateDictVector:
+    def test_state_dict_vector_roundtrip(self):
+        model = _make_model(3)
+        state = model.state_dict()
+        vector = state_dict_to_vector(state, model)
+        recovered = vector_to_state_dict(vector, model)
+        for name in state:
+            np.testing.assert_allclose(state[name], recovered[name], atol=1e-6)
+
+    def test_state_dict_to_vector_matches_get_flat_params(self):
+        model = _make_model(4)
+        np.testing.assert_allclose(
+            state_dict_to_vector(model.state_dict(), model), get_flat_params(model), atol=1e-6
+        )
+
+    def test_missing_parameter_raises(self):
+        model = _make_model()
+        state = model.state_dict()
+        key = next(iter(state))
+        del state[key]
+        with pytest.raises(KeyError):
+            state_dict_to_vector(state, model)
+
+    def test_shape_mismatch_raises(self):
+        model = _make_model()
+        state = model.state_dict()
+        key = next(iter(state))
+        state[key] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            state_dict_to_vector(state, model)
+
+    def test_vector_too_short_raises(self):
+        model = _make_model()
+        with pytest.raises(ValueError):
+            vector_to_state_dict(np.zeros(model.num_parameters() - 1), model)
+
+    def test_vector_too_long_raises(self):
+        model = _make_model()
+        with pytest.raises(ValueError):
+            vector_to_state_dict(np.zeros(model.num_parameters() + 1), model)
+
+    def test_clone_state_dict_is_deep(self):
+        model = _make_model()
+        state = model.state_dict()
+        cloned = clone_state_dict(state)
+        key = next(iter(state))
+        cloned[key][:] = 123.0
+        assert not np.allclose(state[key], 123.0)
