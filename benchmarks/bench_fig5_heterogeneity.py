@@ -23,10 +23,10 @@ _BETAS = (0.1, 0.5, 0.9)
 _DATASETS = ("fashion-mnist", "cifar-10")
 
 
-def test_fig5_heterogeneity_sweep(benchmark, runner, report):
+def test_fig5_heterogeneity_sweep(benchmark, grid_runner, report):
     scenario_list = scenarios.fig5_scenarios(benchmark_scale, datasets=_DATASETS, betas=_BETAS)
     results = benchmark.pedantic(
-        lambda: run_scenarios(runner, scenario_list), rounds=1, iterations=1
+        lambda: run_scenarios(grid_runner, scenario_list), rounds=1, iterations=1
     )
     by_label = dict(results)
 

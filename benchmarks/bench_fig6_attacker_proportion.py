@@ -23,12 +23,12 @@ _FRACTIONS = (0.1, 0.2, 0.3)
 _DEFENSES = ("mkrum", "trmean")
 
 
-def test_fig6_attacker_proportion(benchmark, runner, report):
+def test_fig6_attacker_proportion(benchmark, grid_runner, report):
     scenario_list = scenarios.fig6_scenarios(
         benchmark_scale, fractions=_FRACTIONS, defenses=_DEFENSES
     )
     results = benchmark.pedantic(
-        lambda: run_scenarios(runner, scenario_list), rounds=1, iterations=1
+        lambda: run_scenarios(grid_runner, scenario_list), rounds=1, iterations=1
     )
     by_label = dict(results)
 

@@ -4,16 +4,23 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
-from repro.experiments import ExperimentResult, ExperimentRunner
+from repro.experiments import ExperimentResult, GridRunner
 from repro.experiments.scenarios import Scenario
 
 __all__ = ["run_scenarios", "results_by_label"]
 
 
 def run_scenarios(
-    runner: ExperimentRunner, scenario_list: Sequence[Scenario]
+    runner, scenario_list: Sequence[Scenario]
 ) -> List[Tuple[str, ExperimentResult]]:
-    """Run every (label, config) pair and return (label, result) pairs."""
+    """Run every (label, config) pair and return (label, result) pairs.
+
+    ``runner`` is either the session :class:`ExperimentRunner` (serial,
+    in-memory baseline sharing) or a :class:`GridRunner` (parallel dispatch
+    with optional on-disk caching); both return the same shape.
+    """
+    if isinstance(runner, GridRunner):
+        return runner.run(scenario_list)
     return [(label, runner.run(config)) for label, config in scenario_list]
 
 

@@ -10,6 +10,12 @@ Run a whole scenario (one table/figure) and save a CSV/JSON summary::
 
     python -m repro scenario table2 --output results/table2
 
+Sweep an attack × defense × beta × attacker-fraction grid across four
+worker processes, caching each finished cell on disk::
+
+    python -m repro grid --attacks dfa-r,dfa-g --defenses mkrum,bulyan \
+        --betas 0.1,0.5 --workers 4 --cache-dir .repro-cache
+
 List the available attacks, defenses, datasets and scenarios::
 
     python -m repro list
@@ -25,6 +31,7 @@ from .attacks import available_attacks
 from .data.synthetic import DATASET_FACTORIES
 from .defenses import available_defenses
 from .experiments import ExperimentRunner, benchmark_scale, paper_scale, scenarios, smoke_scale
+from .experiments.grid import GridRunner, expand_grid
 from .experiments.io import save_results, write_summary_csv
 from .utils import format_table
 
@@ -70,11 +77,50 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--rounds", type=int, default=None, help="override the number of rounds")
     run.add_argument("--malicious-fraction", type=float, default=None)
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="client-level fan-out processes for local training (1 = serial)",
+    )
 
     scenario = subparsers.add_parser("scenario", help="run every experiment of one table/figure")
     scenario.add_argument("name", choices=sorted(_SCENARIOS))
     scenario.add_argument("--scale", default="benchmark", choices=sorted(_SCALES))
     scenario.add_argument("--output", default=None, help="basename for .json/.csv result files")
+    scenario.add_argument(
+        "--workers", type=int, default=1, help="scenario-level worker processes (1 = serial)"
+    )
+    scenario.add_argument(
+        "--cache-dir", default=None, help="per-scenario result cache directory"
+    )
+
+    grid = subparsers.add_parser(
+        "grid", help="sweep an attack x defense x beta x fraction scenario grid"
+    )
+    grid.add_argument("--datasets", default="fashion-mnist", help="comma-separated dataset names")
+    grid.add_argument("--attacks", default="dfa-r,dfa-g", help="comma-separated attack names")
+    grid.add_argument("--defenses", default="mkrum,bulyan", help="comma-separated defense names")
+    grid.add_argument(
+        "--betas",
+        default="0.5",
+        help="comma-separated Dirichlet betas; 'iid' for an i.i.d. split",
+    )
+    grid.add_argument(
+        "--fractions", default="0.2", help="comma-separated attacker fractions (e.g. 0.1,0.2,0.3)"
+    )
+    grid.add_argument("--seeds", default="0", help="comma-separated RNG seeds")
+    grid.add_argument("--scale", default="benchmark", choices=sorted(_SCALES))
+    grid.add_argument("--rounds", type=int, default=None, help="override the number of rounds")
+    grid.add_argument(
+        "--workers", type=int, default=1, help="scenario-level worker processes (1 = serial)"
+    )
+    grid.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory of per-scenario JSON artifacts; re-runs skip cached cells",
+    )
+    grid.add_argument("--output", default=None, help="basename for .json/.csv result files")
 
     subparsers.add_parser("list", help="list datasets, attacks, defenses and scenarios")
     return parser
@@ -93,7 +139,8 @@ def _run_single(args: argparse.Namespace) -> int:
         overrides["malicious_fraction"] = args.malicious_fraction
     config = scale(args.dataset, **overrides)
 
-    runner = ExperimentRunner()
+    executor = "process" if args.workers > 1 else None
+    runner = ExperimentRunner(executor=executor, workers=args.workers)
     result = runner.run(config)
     rows = [
         ["clean accuracy acc (%)", 100.0 * (result.baseline_accuracy or 0.0)],
@@ -107,22 +154,101 @@ def _run_single(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_result_line(label: str, result) -> None:
+    asr = "   N/A" if result.asr is None else f"{result.asr:6.1f}%"
+    dpr = "N/A" if result.dpr is None else f"{result.dpr:.1f}%"
+    print(f"{label:45s} acc_m={100.0 * result.max_accuracy:5.1f}%  ASR={asr}  DPR={dpr}")
+
+
+def _save_if_requested(results, output: Optional[str]) -> None:
+    if output:
+        json_path = save_results(results, f"{output}.json")
+        csv_path = write_summary_csv(results, f"{output}.csv")
+        print(f"\nsaved {json_path} and {csv_path}")
+
+
 def _run_scenario(args: argparse.Namespace) -> int:
     scale = _SCALES[args.scale]
     scenario_list = _SCENARIOS[args.name](scale)
-    runner = ExperimentRunner()
-    results = []
-    for label, config in scenario_list:
-        result = runner.run(config)
-        results.append((label, result))
-        print(
-            f"{label:45s} acc_m={100.0 * result.max_accuracy:5.1f}%  "
-            f"ASR={result.asr:6.1f}%  DPR={'N/A' if result.dpr is None else f'{result.dpr:.1f}%'}"
-        )
-    if args.output:
-        json_path = save_results(results, f"{args.output}.json")
-        csv_path = write_summary_csv(results, f"{args.output}.csv")
-        print(f"\nsaved {json_path} and {csv_path}")
+    if args.workers > 1 or args.cache_dir:
+        runner = GridRunner(workers=max(1, args.workers), cache_dir=args.cache_dir, progress=print)
+        results = runner.run(scenario_list)
+        for label, result in results:
+            _print_result_line(label, result)
+    else:
+        runner = ExperimentRunner()
+        results = []
+        for label, config in scenario_list:
+            result = runner.run(config)
+            results.append((label, result))
+            _print_result_line(label, result)
+    _save_if_requested(results, args.output)
+    return 0
+
+
+def _split_csv(raw: str) -> List[str]:
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+def _grid_axes_or_exit(parser: argparse.ArgumentParser, args: argparse.Namespace) -> Dict:
+    """Parse and validate the grid axes, exiting with a usage error on bad input."""
+    datasets = _split_csv(args.datasets)
+    for dataset in datasets:
+        if dataset not in DATASET_FACTORIES:
+            parser.error(f"unknown dataset '{dataset}'; choose from {sorted(DATASET_FACTORIES)}")
+    attacks = [
+        None if part.lower() in {"none", "clean"} else part for part in _split_csv(args.attacks)
+    ]
+    for attack in attacks:
+        if attack is not None and attack not in available_attacks():
+            parser.error(f"unknown attack '{attack}'; choose from {available_attacks()}")
+    defenses = _split_csv(args.defenses)
+    for defense in defenses:
+        if defense not in available_defenses():
+            parser.error(f"unknown defense '{defense}'; choose from {available_defenses()}")
+    try:
+        betas = [
+            None if part.lower() == "iid" else float(part) for part in _split_csv(args.betas)
+        ]
+        fractions = [float(part) for part in _split_csv(args.fractions)]
+        seeds = [int(part) for part in _split_csv(args.seeds)]
+    except ValueError as error:
+        parser.error(f"bad numeric axis value: {error}")
+    if args.workers < 1:
+        parser.error("--workers must be at least 1")
+    if not (datasets and attacks and defenses and betas and fractions and seeds):
+        parser.error("every grid axis needs at least one value")
+    return dict(
+        datasets=datasets,
+        attacks=attacks,
+        defenses=defenses,
+        betas=betas,
+        malicious_fractions=fractions,
+        seeds=seeds,
+    )
+
+
+def _run_grid(args: argparse.Namespace) -> int:
+    parser = build_parser()
+    axes = _grid_axes_or_exit(parser, args)
+    scale = _SCALES[args.scale]
+    overrides = {}
+    if args.rounds is not None:
+        overrides["num_rounds"] = args.rounds
+    scenario_list = expand_grid(scale=scale, **axes, **overrides)
+    print(f"grid: {len(scenario_list)} scenarios, workers={args.workers}, "
+          f"cache={args.cache_dir or 'disabled'}")
+    runner = GridRunner(workers=args.workers, cache_dir=args.cache_dir, progress=print)
+    results = runner.run(scenario_list)
+    stats = runner.last_stats
+    print()
+    for label, result in results:
+        _print_result_line(label, result)
+    print(
+        f"\n{stats.total} scenarios: {stats.cache_hits} cached, {stats.executed} executed "
+        f"(+{stats.baselines_executed} baselines) in {stats.wall_seconds:.1f}s"
+    )
+    _save_if_requested(results, args.output)
     return 0
 
 
@@ -143,6 +269,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_single(args)
     if args.command == "scenario":
         return _run_scenario(args)
+    if args.command == "grid":
+        return _run_grid(args)
     if args.command == "list":
         return _run_list(args)
     parser.error(f"unknown command {args.command!r}")

@@ -1,0 +1,358 @@
+"""Scenario-grid runner: expand, cache and dispatch whole experiment sweeps.
+
+The paper's evaluation is a grid — attack × defense × heterogeneity (β) ×
+attacker-fraction × dataset × seed — and every cell is an independent
+:class:`~repro.experiments.config.ExperimentConfig`.  This module turns such
+a grid into labelled configs (:class:`GridSpec` / :func:`expand_grid`),
+dispatches them across worker processes, and caches each finished cell on
+disk keyed by a content hash of its configuration, so interrupted or
+repeated sweeps only pay for cells they have not completed yet.
+
+Cache layout
+------------
+``<cache_dir>/<config_hash>.json`` — one JSON artifact per experiment in the
+:func:`repro.experiments.io.result_to_dict` format (including the clean
+baselines, which get synthetic ``baseline/…`` labels).  The hash covers the
+full config dict (sorted-key JSON, sha256), so it is stable across processes
+and Python invocations — unlike ``hash()``, which is salted per process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from .config import ExperimentConfig
+from .io import result_from_dict, result_to_dict
+from .runner import ExperimentResult, run_experiment
+from .scenarios import Scenario
+
+__all__ = [
+    "GridSpec",
+    "GridStats",
+    "GridRunner",
+    "config_hash",
+    "expand_grid",
+    "run_grid",
+]
+
+PathLike = Union[str, Path]
+ProgressFn = Callable[[str], None]
+
+
+#: Bump when an algorithm change invalidates previously cached results —
+#: the version is mixed into :func:`config_hash`, so old artifacts simply
+#: stop matching (the cache is config-keyed, not code-keyed).
+CACHE_VERSION = 1
+
+
+def config_hash(config: ExperimentConfig) -> str:
+    """Deterministic content hash of a configuration.
+
+    Stable across processes, interpreter restarts and platforms (pure
+    function of the config's field values plus :data:`CACHE_VERSION`), so it
+    can key on-disk caches.
+    """
+    payload = json.dumps(
+        {"cache_version": CACHE_VERSION, **config.to_dict()}, sort_keys=True, default=repr
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
+
+
+@dataclass
+class GridSpec:
+    """Axes of a scenario grid; the cross product defines the sweep."""
+
+    datasets: Sequence[str] = ("fashion-mnist",)
+    attacks: Sequence[Optional[str]] = ("dfa-r",)
+    defenses: Sequence[str] = ("fedavg",)
+    betas: Sequence[Optional[float]] = (0.5,)
+    malicious_fractions: Sequence[float] = (0.2,)
+    seeds: Sequence[int] = (0,)
+    scale: Callable[..., ExperimentConfig] = None  # set in __post_init__
+    overrides: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.scale is None:
+            from .presets import benchmark_scale
+
+            self.scale = benchmark_scale
+
+    def expand(self) -> List[Scenario]:
+        """Expand the cross product into ``(label, config)`` scenarios."""
+        return expand_grid(
+            datasets=self.datasets,
+            attacks=self.attacks,
+            defenses=self.defenses,
+            betas=self.betas,
+            malicious_fractions=self.malicious_fractions,
+            seeds=self.seeds,
+            scale=self.scale,
+            **self.overrides,
+        )
+
+    @property
+    def size(self) -> int:
+        """Number of scenarios the grid expands to."""
+        return (
+            len(self.datasets)
+            * len(self.attacks)
+            * len(self.defenses)
+            * len(self.betas)
+            * len(self.malicious_fractions)
+            * len(self.seeds)
+        )
+
+
+def expand_grid(
+    datasets: Sequence[str] = ("fashion-mnist",),
+    attacks: Sequence[Optional[str]] = ("dfa-r",),
+    defenses: Sequence[str] = ("fedavg",),
+    betas: Sequence[Optional[float]] = (0.5,),
+    malicious_fractions: Sequence[float] = (0.2,),
+    seeds: Sequence[int] = (0,),
+    scale: Optional[Callable[..., ExperimentConfig]] = None,
+    **overrides,
+) -> List[Scenario]:
+    """Cross every axis and return labelled configs, outermost axis first.
+
+    ``scale`` is a preset factory (``smoke_scale`` / ``benchmark_scale`` /
+    ``paper_scale``); extra keyword arguments are forwarded to it, so e.g.
+    ``num_rounds=3`` shrinks every cell of the grid uniformly.
+    """
+    if scale is None:
+        from .presets import benchmark_scale as scale
+
+    grid: List[Scenario] = []
+    for dataset in datasets:
+        for defense in defenses:
+            for attack in attacks:
+                for beta in betas:
+                    for fraction in malicious_fractions:
+                        for seed in seeds:
+                            config = scale(
+                                dataset,
+                                attack=attack,
+                                defense=defense,
+                                beta=beta,
+                                malicious_fraction=fraction,
+                                seed=seed,
+                                **overrides,
+                            )
+                            label = "/".join(
+                                [
+                                    dataset,
+                                    defense,
+                                    str(attack or "clean"),
+                                    "iid" if beta is None else f"beta={beta}",
+                                    f"attackers={fraction:.0%}",
+                                    f"seed={seed}",
+                                ]
+                            )
+                            grid.append((label, config))
+    return grid
+
+
+@dataclass
+class GridStats:
+    """Bookkeeping of one :meth:`GridRunner.run` call."""
+
+    total: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    baselines_executed: int = 0
+    baseline_cache_hits: int = 0
+    wall_seconds: float = 0.0
+
+
+def _run_cell(label: str, config: ExperimentConfig, baseline_accuracy: Optional[float]):
+    """Worker entry point: must stay module-level so it pickles."""
+    return label, run_experiment(config, baseline_accuracy=baseline_accuracy)
+
+
+class GridRunner:
+    """Run a scenario grid with worker processes and per-scenario disk cache.
+
+    Parameters
+    ----------
+    workers:
+        Process count for scenario-level parallelism; ``1`` runs everything
+        in the calling process (no pool, no pickling requirements beyond the
+        cache files).
+    cache_dir:
+        Directory of per-scenario JSON artifacts; ``None`` disables caching.
+        Artifacts are keyed by :func:`config_hash`, so re-running a grid after
+        an interruption (or with new cells added) only executes the missing
+        cells.
+    progress:
+        Callable receiving one human-readable line per completed cell
+        (``print`` for streaming output); ``None`` silences progress.
+
+    Two phases per run: first the distinct clean baselines (needed for the
+    ASR of Eq. 4, shared by every cell with the same federation settings),
+    then the grid cells themselves — both phases fan out across the pool and
+    both consult the cache before executing anything.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache_dir: Optional[PathLike] = None,
+        progress: Optional[ProgressFn] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.workers = workers
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.progress = progress
+        self.last_stats = GridStats()
+
+    # ------------------------------------------------------------------
+    # Cache helpers
+    # ------------------------------------------------------------------
+    def _cache_path(self, config: ExperimentConfig) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{config_hash(config)}.json"
+
+    def _cache_load(self, config: ExperimentConfig) -> Optional[Tuple[str, ExperimentResult]]:
+        path = self._cache_path(config)
+        if path is None or not path.exists():
+            return None
+        try:
+            return result_from_dict(json.loads(path.read_text()))
+        except (ValueError, KeyError, TypeError):
+            # Corrupt or stale artifact: fall through to re-execution.
+            return None
+
+    def _cache_store(self, label: str, result: ExperimentResult) -> None:
+        path = self._cache_path(result.config)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(result_to_dict(label, result)))
+        tmp.replace(path)
+
+    def _emit(self, message: str) -> None:
+        if self.progress is not None:
+            self.progress(message)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _execute_batch(
+        self, jobs: List[Tuple[str, ExperimentConfig, Optional[float]]], phase: str
+    ) -> Dict[str, ExperimentResult]:
+        """Run (label, config, baseline) jobs, streaming completions."""
+        results: Dict[str, ExperimentResult] = {}
+        total = len(jobs)
+        if not jobs:
+            return results
+        started = time.perf_counter()
+
+        def note(label: str, result: ExperimentResult, index: int) -> None:
+            asr = "  n/a" if result.asr is None else f"{result.asr:5.1f}%"
+            self._emit(
+                f"[{phase} {index}/{total}] {label}  "
+                f"acc_m={100.0 * result.max_accuracy:5.1f}%  ASR={asr}  "
+                f"({time.perf_counter() - started:.1f}s elapsed)"
+            )
+
+        if self.workers == 1:
+            for index, (label, config, baseline) in enumerate(jobs, start=1):
+                label, result = _run_cell(label, config, baseline)
+                self._cache_store(label, result)
+                results[label] = result
+                note(label, result, index)
+            return results
+
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            pending = {
+                pool.submit(_run_cell, label, config, baseline)
+                for label, config, baseline in jobs
+            }
+            done_count = 0
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    label, result = future.result()
+                    done_count += 1
+                    self._cache_store(label, result)
+                    results[label] = result
+                    note(label, result, done_count)
+        return results
+
+    def run(self, scenario_list: Sequence[Scenario]) -> List[Tuple[str, ExperimentResult]]:
+        """Run every scenario (cache-aware) and return ``(label, result)`` pairs
+        in input order.  Per-run statistics land in :attr:`last_stats`."""
+        labels = [label for label, _ in scenario_list]
+        if len(set(labels)) != len(labels):
+            duplicates = sorted({label for label in labels if labels.count(label) > 1})
+            raise ValueError(f"duplicate scenario labels: {duplicates}")
+
+        started = time.perf_counter()
+        stats = GridStats(total=len(scenario_list))
+
+        cached: Dict[str, ExperimentResult] = {}
+        pending: List[Scenario] = []
+        for label, config in scenario_list:
+            hit = self._cache_load(config)
+            if hit is not None:
+                cached[label] = hit[1]
+                stats.cache_hits += 1
+                self._emit(f"[cache] {label}")
+            else:
+                pending.append((label, config))
+
+        # Phase 1 — distinct clean baselines for the pending cells.
+        baselines: Dict[Tuple, float] = {}
+        baseline_jobs: List[Tuple[str, ExperimentConfig, Optional[float]]] = []
+        for _, config in pending:
+            key = config.baseline_key()
+            if key in baselines:
+                continue
+            clean = config.clean_variant()
+            hit = self._cache_load(clean)
+            if hit is not None:
+                baselines[key] = hit[1].max_accuracy
+                stats.baseline_cache_hits += 1
+            else:
+                baselines[key] = float("nan")  # placeholder until phase 1 ends
+                baseline_jobs.append((f"baseline/{config_hash(clean)}", clean, None))
+        baseline_results = self._execute_batch(baseline_jobs, phase="baseline")
+        stats.baselines_executed = len(baseline_results)
+        for label, result in baseline_results.items():
+            baselines[result.config.baseline_key()] = result.max_accuracy
+
+        # Phase 2 — the grid cells themselves.
+        jobs = [
+            (label, config, baselines[config.baseline_key()]) for label, config in pending
+        ]
+        executed = self._execute_batch(jobs, phase="grid")
+        stats.executed = len(executed)
+
+        stats.wall_seconds = time.perf_counter() - started
+        self.last_stats = stats
+
+        ordered: List[Tuple[str, ExperimentResult]] = []
+        for label, _ in scenario_list:
+            ordered.append((label, cached[label] if label in cached else executed[label]))
+        return ordered
+
+
+def run_grid(
+    scenario_list: Sequence[Scenario],
+    workers: int = 1,
+    cache_dir: Optional[PathLike] = None,
+    progress: Optional[ProgressFn] = None,
+) -> List[Tuple[str, ExperimentResult]]:
+    """One-shot convenience wrapper around :class:`GridRunner`."""
+    return GridRunner(workers=workers, cache_dir=cache_dir, progress=progress).run(
+        scenario_list
+    )

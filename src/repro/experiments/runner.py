@@ -13,7 +13,7 @@ from ..defenses import build_defense
 from ..fl.simulation import FederatedSimulation, SimulationResult
 from ..fl.types import LocalTrainingConfig, RoundRecord
 from ..metrics import attack_success_rate, defense_pass_rate, max_accuracy
-from ..models import build_classifier_for_task, default_architecture_for_dataset
+from ..models import ClassifierFactory, default_architecture_for_dataset
 from .config import ExperimentConfig
 
 __all__ = ["ExperimentResult", "ExperimentRunner", "build_simulation", "run_experiment"]
@@ -55,8 +55,16 @@ def _attack_kwargs_for(config: ExperimentConfig) -> Dict:
     return kwargs
 
 
-def build_simulation(config: ExperimentConfig) -> FederatedSimulation:
-    """Construct the simulation (task, model factory, attack, defense) for a config."""
+def build_simulation(
+    config: ExperimentConfig, executor=None, workers: Optional[int] = None
+) -> FederatedSimulation:
+    """Construct the simulation (task, model factory, attack, defense) for a config.
+
+    ``executor`` selects the benign-client fan-out backend (see
+    :class:`~repro.fl.simulation.FederatedSimulation`); the model factory is
+    a picklable :class:`~repro.models.ClassifierFactory`, so the ``"process"``
+    backend works out of the box.
+    """
     task = load_dataset(
         config.dataset,
         train_size=config.train_size,
@@ -65,9 +73,7 @@ def build_simulation(config: ExperimentConfig) -> FederatedSimulation:
         image_size=config.image_size,
     )
     architecture = config.architecture or default_architecture_for_dataset(config.dataset)
-
-    def model_factory():
-        return build_classifier_for_task(task, architecture=architecture, seed=config.seed)
+    model_factory = ClassifierFactory.for_task(task, architecture=architecture, seed=config.seed)
 
     attack = build_attack(config.attack, **_attack_kwargs_for(config))
     defense = build_defense(config.defense, **config.defense_kwargs)
@@ -90,20 +96,26 @@ def build_simulation(config: ExperimentConfig) -> FederatedSimulation:
         reference_fraction=config.reference_fraction,
         assumed_malicious_fraction=config.assumed_malicious_fraction,
         seed=config.seed,
+        executor=executor,
+        workers=workers,
     )
 
 
 def run_experiment(
-    config: ExperimentConfig, baseline_accuracy: Optional[float] = None
+    config: ExperimentConfig,
+    baseline_accuracy: Optional[float] = None,
+    executor=None,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Run one experiment and compute accuracy / ASR / DPR.
 
     ``baseline_accuracy`` is the clean accuracy ``acc`` used by Eq. 4; when
     omitted, ASR is left as ``None`` (use :class:`ExperimentRunner` to manage
-    baselines automatically).
+    baselines automatically).  ``executor``/``workers`` select the
+    client-level fan-out backend of the underlying simulation.
     """
-    simulation = build_simulation(config)
-    result = simulation.run(config.num_rounds)
+    with build_simulation(config, executor=executor, workers=workers) as simulation:
+        result = simulation.run(config.num_rounds)
     synthesis_losses: List[List[float]] = []
     if simulation.attack is not None:
         synthesis_losses = list(getattr(simulation.attack, "synthesis_loss_history", []))
@@ -130,9 +142,11 @@ class ExperimentRunner:
     baseline runs.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, executor=None, workers: Optional[int] = None) -> None:
         self._baseline_cache: Dict[Tuple, float] = {}
         self._result_cache: Dict[str, ExperimentResult] = {}
+        self._executor = executor
+        self._workers = workers
 
     @staticmethod
     def _config_key(config: ExperimentConfig) -> str:
@@ -143,7 +157,7 @@ class ExperimentRunner:
         key = config.baseline_key()
         if key not in self._baseline_cache:
             clean = config.clean_variant()
-            result = run_experiment(clean)
+            result = run_experiment(clean, executor=self._executor, workers=self._workers)
             self._baseline_cache[key] = result.max_accuracy
         return self._baseline_cache[key]
 
@@ -158,11 +172,49 @@ class ExperimentRunner:
         if use_cache and key in self._result_cache:
             return self._result_cache[key]
         baseline = self.baseline_accuracy(config)
-        result = run_experiment(config, baseline_accuracy=baseline)
+        result = run_experiment(
+            config,
+            baseline_accuracy=baseline,
+            executor=self._executor,
+            workers=self._workers,
+        )
         if use_cache:
             self._result_cache[key] = result
         return result
 
-    def run_many(self, configs: List[ExperimentConfig]) -> List[ExperimentResult]:
-        """Run a list of experiments sequentially."""
-        return [self.run(config) for config in configs]
+    def run_many(
+        self, configs: List[ExperimentConfig], workers: int = 1
+    ) -> List[ExperimentResult]:
+        """Run a list of experiments, optionally across worker processes.
+
+        With ``workers > 1`` the batch is dispatched through
+        :class:`~repro.experiments.grid.GridRunner` (scenario-level
+        parallelism); results still come back in input order, and are merged
+        into this runner's in-memory cache afterwards.
+        """
+        if workers <= 1:
+            return [self.run(config) for config in configs]
+        from .grid import GridRunner  # local import: grid depends on this module
+
+        # Configs already run this session come from the in-memory cache;
+        # only the rest are dispatched to the pool.
+        pending = [
+            (f"batch/{index}", config)
+            for index, config in enumerate(configs)
+            if self._config_key(config) not in self._result_cache
+        ]
+        executed = {
+            label: result for label, result in GridRunner(workers=workers).run(pending)
+        }
+        results: List[ExperimentResult] = []
+        for index, config in enumerate(configs):
+            key = self._config_key(config)
+            if key not in self._result_cache:
+                result = executed[f"batch/{index}"]
+                self._result_cache[key] = result
+                if result.baseline_accuracy is not None:
+                    self._baseline_cache.setdefault(
+                        config.baseline_key(), result.baseline_accuracy
+                    )
+            results.append(self._result_cache[key])
+        return results

@@ -2,6 +2,16 @@
 
 from .aggregation import fedavg, stack_updates, unweighted_average
 from .client import BenignClient
+from .executor import (
+    ClientExecutor,
+    ClientTask,
+    ClientTaskResult,
+    ParallelExecutor,
+    SerialExecutor,
+    ThreadedExecutor,
+    build_executor,
+    run_client_task,
+)
 from .selection import ClientSelector, RoundRobinSelector, UniformSelector
 from .server import Server
 from .simulation import FederatedSimulation, SimulationResult
@@ -20,6 +30,14 @@ __all__ = [
     "unweighted_average",
     "stack_updates",
     "BenignClient",
+    "ClientExecutor",
+    "ClientTask",
+    "ClientTaskResult",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "ParallelExecutor",
+    "build_executor",
+    "run_client_task",
     "ClientSelector",
     "UniformSelector",
     "RoundRobinSelector",

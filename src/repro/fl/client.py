@@ -14,8 +14,7 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from ..nn.modules import Module
-from ..nn.serialization import get_flat_params, set_flat_params
-from .training import train_local_model
+from .executor import ClientTask, ClientTaskResult, run_client_task
 from .types import LocalTrainingConfig, ModelUpdate
 
 __all__ = ["BenignClient"]
@@ -45,14 +44,41 @@ class BenignClient:
         """Number of local training samples (the FedAvg weight n_i)."""
         return len(self.dataset)
 
-    def local_update(self, global_params: np.ndarray, round_number: int) -> ModelUpdate:
-        """Train a fresh local model initialised from the global parameters."""
-        model = self.model_factory()
-        set_flat_params(model, global_params)
-        train_local_model(model, self.dataset, self.config, self._rng)
-        return ModelUpdate(
+    def make_task(self, global_params: np.ndarray, round_number: int) -> ClientTask:
+        """Snapshot this round's local-training work as a picklable payload.
+
+        The task captures the client's current RNG *state*; the executor ships
+        the advanced state back in the result and :meth:`consume_result`
+        restores it, so any executor backend reproduces the serial RNG stream
+        exactly.
+        """
+        images, labels = self.dataset.arrays()
+        return ClientTask(
             client_id=self.client_id,
-            parameters=get_flat_params(model),
+            round_number=round_number,
+            global_params=global_params,
+            images=images,
+            labels=labels,
             num_samples=self.num_samples,
+            config=self.config,
+            model_factory=self.model_factory,
+            rng_state=self._rng.bit_generator.state,
+        )
+
+    def consume_result(self, result: ClientTaskResult) -> ModelUpdate:
+        """Adopt an executor result: advance the RNG and build the update."""
+        if result.client_id != self.client_id:
+            raise ValueError(
+                f"client {self.client_id} received a result for client {result.client_id}"
+            )
+        self._rng.bit_generator.state = result.rng_state
+        return ModelUpdate(
+            client_id=result.client_id,
+            parameters=result.parameters,
+            num_samples=result.num_samples,
             is_malicious=False,
         )
+
+    def local_update(self, global_params: np.ndarray, round_number: int) -> ModelUpdate:
+        """Train a fresh local model initialised from the global parameters."""
+        return self.consume_result(run_client_task(self.make_task(global_params, round_number)))

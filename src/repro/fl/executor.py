@@ -1,0 +1,205 @@
+"""Pluggable execution backends for the per-round benign-client fan-out.
+
+Each FL round trains ``clients_per_round`` independent local models; the
+work units are embarrassingly parallel because every client starts from the
+same broadcast global parameters and touches only its own data shard and RNG
+stream.  :class:`ClientTask` captures one unit of that work as a fully
+picklable payload (plain numpy arrays, a :class:`LocalTrainingConfig`, and
+the client's RNG *state* rather than the generator object), so the same task
+can be executed in-process, on a thread pool, or in a worker process — and
+produce bit-identical results in all three cases.
+
+Determinism contract
+--------------------
+A client owns one :class:`numpy.random.Generator` that advances across
+rounds.  :func:`run_client_task` reconstructs the generator from the
+serialized state, trains, and ships the *advanced* state back so the owning
+:class:`~repro.fl.client.BenignClient` can resume exactly where a serial run
+would have.  Given the same seed, :class:`SerialExecutor`,
+:class:`ThreadedExecutor` and :class:`ParallelExecutor` therefore yield
+bit-identical :class:`~repro.fl.types.ModelUpdate` sequences.
+
+Picklability
+------------
+:class:`ParallelExecutor` submits tasks to a
+:class:`concurrent.futures.ProcessPoolExecutor`, so every field of the task
+must pickle — in particular ``model_factory``.  Closures do not pickle; use
+:class:`repro.models.ClassifierFactory` (or any module-level callable /
+dataclass) when running with processes.  The experiment layer
+(:func:`repro.experiments.runner.build_simulation`) already does.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..nn.serialization import get_flat_params, set_flat_params
+from .training import train_on_arrays
+from .types import LocalTrainingConfig
+
+__all__ = [
+    "ClientTask",
+    "ClientTaskResult",
+    "run_client_task",
+    "ClientExecutor",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "ParallelExecutor",
+    "build_executor",
+    "default_worker_count",
+]
+
+
+@dataclass
+class ClientTask:
+    """One benign client's local-training work for one round (picklable)."""
+
+    client_id: int
+    round_number: int
+    global_params: np.ndarray
+    images: np.ndarray
+    labels: np.ndarray
+    num_samples: int
+    config: LocalTrainingConfig
+    model_factory: Callable[[], object]
+    rng_state: Dict
+    """Serialized ``Generator.bit_generator.state`` of the owning client."""
+
+
+@dataclass
+class ClientTaskResult:
+    """Outcome of one :class:`ClientTask`: trained parameters + advanced RNG."""
+
+    client_id: int
+    parameters: np.ndarray
+    num_samples: int
+    rng_state: Dict
+
+
+def run_client_task(task: ClientTask) -> ClientTaskResult:
+    """Execute one client's local training; pure function of the task payload."""
+    rng = np.random.default_rng()
+    rng.bit_generator.state = task.rng_state
+    model = task.model_factory()
+    set_flat_params(model, task.global_params)
+    train_on_arrays(model, task.images, task.labels, task.config, rng)
+    return ClientTaskResult(
+        client_id=task.client_id,
+        parameters=get_flat_params(model),
+        num_samples=task.num_samples,
+        rng_state=rng.bit_generator.state,
+    )
+
+
+def default_worker_count() -> int:
+    """Worker count used when none is given: one per available core, max 8."""
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+class ClientExecutor:
+    """Strategy interface: run a batch of client tasks, preserving order."""
+
+    name = "base"
+
+    def map(self, tasks: Sequence[ClientTask]) -> List[ClientTaskResult]:
+        """Run every task and return results in the same order as ``tasks``."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any pooled workers (idempotent)."""
+
+    def __enter__(self) -> "ClientExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialExecutor(ClientExecutor):
+    """Run tasks one after another in the calling process (the default)."""
+
+    name = "serial"
+
+    def map(self, tasks: Sequence[ClientTask]) -> List[ClientTaskResult]:
+        return [run_client_task(task) for task in tasks]
+
+
+class ThreadedExecutor(ClientExecutor):
+    """Thread-pool fan-out.
+
+    numpy releases the GIL inside its kernels, so threads overlap the heavy
+    matmul/conv work without any pickling cost.  This is the fallback for
+    platforms where process pools are unavailable or fork is unsafe.
+    """
+
+    name = "thread"
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        self.workers = workers or default_worker_count()
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def map(self, tasks: Sequence[ClientTask]) -> List[ClientTaskResult]:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.workers)
+        return list(self._pool.map(run_client_task, tasks))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ParallelExecutor(ClientExecutor):
+    """Process-pool fan-out: true multi-core execution of the client round.
+
+    Requires every task field to pickle (see the module docstring).  The pool
+    is created lazily on first use and reused across rounds, so the process
+    start-up cost is paid once per simulation rather than once per round.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        self.workers = workers or default_worker_count()
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def map(self, tasks: Sequence[ClientTask]) -> List[ClientTaskResult]:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return list(self._pool.map(run_client_task, tasks))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+_EXECUTOR_KINDS = {
+    "serial": SerialExecutor,
+    "thread": ThreadedExecutor,
+    "process": ParallelExecutor,
+}
+
+
+def build_executor(
+    spec: Union[None, str, ClientExecutor], workers: Optional[int] = None
+) -> ClientExecutor:
+    """Resolve an executor from a name (``serial``/``thread``/``process``),
+    an existing instance (returned as-is), or ``None`` (serial)."""
+    if spec is None:
+        return SerialExecutor()
+    if isinstance(spec, ClientExecutor):
+        return spec
+    key = str(spec).lower()
+    if key not in _EXECUTOR_KINDS:
+        raise KeyError(
+            f"unknown executor '{spec}'; choose from {sorted(_EXECUTOR_KINDS)}"
+        )
+    if key == "serial":
+        return SerialExecutor()
+    return _EXECUTOR_KINDS[key](workers=workers)

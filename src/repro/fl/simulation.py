@@ -19,6 +19,7 @@ from ..data.synthetic import SyntheticImageTask
 from ..defenses.base import Defense, NoDefense
 from ..nn.modules import Module
 from .client import BenignClient
+from .executor import ClientExecutor, build_executor
 from .selection import ClientSelector, UniformSelector
 from .server import Server
 from .types import AttackRoundContext, LocalTrainingConfig, ModelUpdate, RoundRecord
@@ -75,6 +76,13 @@ class FederatedSimulation:
         Fraction of the *test* split handed to the server as the REFD
         reference dataset (the remaining samples are used for evaluation to
         avoid leakage).  Only relevant when the defense needs it.
+    executor:
+        Backend running the benign-client fan-out each round: a
+        :class:`~repro.fl.executor.ClientExecutor` instance or one of the
+        names ``"serial"`` / ``"thread"`` / ``"process"``.  ``None`` (the
+        default) runs serially.  All backends are bit-identical for a given
+        seed; ``"process"`` additionally requires ``model_factory`` to be
+        picklable (e.g. :class:`repro.models.ClassifierFactory`).
     """
 
     def __init__(
@@ -93,6 +101,8 @@ class FederatedSimulation:
         assumed_malicious_fraction: Optional[float] = None,
         eval_batch_size: int = 256,
         seed: int = 0,
+        executor=None,
+        workers: Optional[int] = None,
     ) -> None:
         if num_clients < 2:
             raise ValueError("need at least two clients")
@@ -110,6 +120,7 @@ class FederatedSimulation:
         self.training_config = training_config or LocalTrainingConfig()
         self.selector = selector or UniformSelector()
         self.eval_batch_size = eval_batch_size
+        self.executor: ClientExecutor = build_executor(executor, workers=workers)
         self._rng = np.random.default_rng(seed)
 
         self._partition_clients(seed)
@@ -201,9 +212,13 @@ class FederatedSimulation:
         selected_benign = [cid for cid in selected if cid not in set(selected_malicious)]
 
         global_params = self.server.distribute()
-        benign_updates: List[ModelUpdate] = [
-            self.benign_clients[cid].local_update(global_params, round_number)
+        tasks = [
+            self.benign_clients[cid].make_task(global_params, round_number)
             for cid in selected_benign
+        ]
+        benign_updates: List[ModelUpdate] = [
+            self.benign_clients[result.client_id].consume_result(result)
+            for result in self.executor.map(tasks)
         ]
 
         malicious_updates: List[ModelUpdate] = []
@@ -262,3 +277,13 @@ class FederatedSimulation:
             final_params=self.server.global_params.copy(),
             malicious_client_ids=list(self.malicious_client_ids),
         )
+
+    def close(self) -> None:
+        """Release pooled executor workers (no-op for the serial backend)."""
+        self.executor.close()
+
+    def __enter__(self) -> "FederatedSimulation":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

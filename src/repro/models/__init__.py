@@ -3,6 +3,7 @@
 from .classifiers import MLP, CifarCNN, FashionCNN, SmallCNN
 from .factory import (
     CLASSIFIER_REGISTRY,
+    ClassifierFactory,
     build_classifier,
     build_classifier_for_task,
     build_filter_for_task,
@@ -19,6 +20,7 @@ __all__ = [
     "TCNNGenerator",
     "FilterNet",
     "CLASSIFIER_REGISTRY",
+    "ClassifierFactory",
     "build_classifier",
     "build_classifier_for_task",
     "build_generator_for_task",

@@ -7,6 +7,7 @@ everything goes through :func:`build_classifier` / :func:`build_generator`.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
 import numpy as np
@@ -18,6 +19,7 @@ from .generator import FilterNet, TCNNGenerator
 
 __all__ = [
     "CLASSIFIER_REGISTRY",
+    "ClassifierFactory",
     "build_classifier",
     "build_classifier_for_task",
     "build_generator_for_task",
@@ -64,6 +66,51 @@ def build_classifier(
         num_classes=num_classes,
         rng=rng,
     )
+
+
+@dataclass(frozen=True)
+class ClassifierFactory:
+    """Picklable zero-argument model factory.
+
+    The parallel client executor ships the factory to worker processes, where
+    closures over a task object cannot be pickled; this dataclass carries the
+    same information as plain fields.  Calling it is equivalent to
+    :func:`build_classifier` with the stored arguments, so repeated calls
+    build identically-initialised models (the seed pins the init RNG).
+    """
+
+    architecture: str
+    in_channels: int
+    image_size: int
+    num_classes: int
+    seed: Optional[int] = None
+
+    def __call__(self) -> Module:
+        return build_classifier(
+            self.architecture,
+            self.in_channels,
+            self.image_size,
+            self.num_classes,
+            seed=self.seed,
+        )
+
+    @classmethod
+    def for_task(
+        cls,
+        task: SyntheticImageTask,
+        architecture: Optional[str] = None,
+        seed: Optional[int] = None,
+    ) -> "ClassifierFactory":
+        """Factory matching a dataset task's shapes (cf. ``build_classifier_for_task``)."""
+        architecture = architecture or default_architecture_for_dataset(task.spec.name)
+        channels, size, _ = task.image_shape
+        return cls(
+            architecture=architecture,
+            in_channels=channels,
+            image_size=size,
+            num_classes=task.num_classes,
+            seed=seed,
+        )
 
 
 def build_classifier_for_task(

@@ -58,18 +58,5 @@ def train_config() -> LocalTrainingConfig:
     return LocalTrainingConfig(local_epochs=1, batch_size=16, learning_rate=0.1)
 
 
-def numerical_gradient(func, array: np.ndarray, eps: float = 1e-5) -> np.ndarray:
-    """Central-difference numerical gradient of ``func()`` w.r.t. ``array`` (in place)."""
-    grad = np.zeros_like(array)
-    iterator = np.nditer(array, flags=["multi_index"])
-    while not iterator.finished:
-        index = iterator.multi_index
-        original = array[index]
-        array[index] = original + eps
-        upper = func()
-        array[index] = original - eps
-        lower = func()
-        array[index] = original
-        grad[index] = (upper - lower) / (2 * eps)
-        iterator.iternext()
-    return grad
+# ``numerical_gradient`` lives in ``tests/helpers.py``; import it from there
+# (``from helpers import numerical_gradient``), not from ``conftest``.

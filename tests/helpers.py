@@ -1,0 +1,31 @@
+"""Plain helper functions shared by test modules.
+
+Kept out of ``conftest.py`` on purpose: test modules import helpers by module
+name, and ``conftest`` is ambiguous when pytest also loads the benchmark
+suite's ``benchmarks/conftest.py`` (whichever directory lands on ``sys.path``
+first wins).  ``helpers`` exists only under ``tests/``, so the import is
+unambiguous.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["numerical_gradient"]
+
+
+def numerical_gradient(func, array: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    """Central-difference numerical gradient of ``func()`` w.r.t. ``array`` (in place)."""
+    grad = np.zeros_like(array)
+    iterator = np.nditer(array, flags=["multi_index"])
+    while not iterator.finished:
+        index = iterator.multi_index
+        original = array[index]
+        array[index] = original + eps
+        upper = func()
+        array[index] = original - eps
+        lower = func()
+        array[index] = original
+        grad[index] = (upper - lower) / (2 * eps)
+        iterator.iternext()
+    return grad

@@ -1,0 +1,148 @@
+"""Tests for the pluggable client executor: determinism and API contract."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.experiments import build_simulation, smoke_scale
+from repro.fl.executor import (
+    ParallelExecutor,
+    SerialExecutor,
+    ThreadedExecutor,
+    build_executor,
+    run_client_task,
+)
+from repro.fl.simulation import FederatedSimulation
+from repro.fl.types import LocalTrainingConfig
+from repro.models import ClassifierFactory
+
+
+def _records_signature(result):
+    """Everything a round record contributes to the paper's metrics."""
+    return [
+        (
+            record.round_number,
+            tuple(record.selected_client_ids),
+            tuple(record.selected_malicious_ids),
+            None
+            if record.accepted_client_ids is None
+            else tuple(record.accepted_client_ids),
+            record.accuracy,
+            record.test_loss,
+            record.num_malicious_passed,
+        )
+        for record in result.records
+    ]
+
+
+def _run_with(executor, num_rounds=2):
+    config = smoke_scale(attack="lie", defense="mkrum", num_rounds=num_rounds)
+    with build_simulation(config, executor=executor) as simulation:
+        return simulation.run(num_rounds)
+
+
+class TestBuildExecutor:
+    def test_none_gives_serial(self):
+        assert isinstance(build_executor(None), SerialExecutor)
+
+    def test_names_resolve(self):
+        assert isinstance(build_executor("serial"), SerialExecutor)
+        assert isinstance(build_executor("thread", workers=2), ThreadedExecutor)
+        assert isinstance(build_executor("process", workers=2), ParallelExecutor)
+
+    def test_instance_passthrough(self):
+        executor = ThreadedExecutor(workers=1)
+        assert build_executor(executor) is executor
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            build_executor("gpu-cluster")
+
+
+class TestTaskPayload:
+    def test_task_is_picklable(self, tiny_task):
+        config = smoke_scale(num_rounds=1)
+        simulation = build_simulation(config)
+        client = next(iter(simulation.benign_clients.values()))
+        task = client.make_task(simulation.server.distribute(), round_number=0)
+        restored = pickle.loads(pickle.dumps(task))
+        assert restored.client_id == task.client_id
+        np.testing.assert_array_equal(restored.global_params, task.global_params)
+
+    def test_run_client_task_advances_rng_state(self):
+        config = smoke_scale(num_rounds=1)
+        simulation = build_simulation(config)
+        client = next(iter(simulation.benign_clients.values()))
+        params = simulation.server.distribute()
+        before = client.make_task(params, 0).rng_state
+        result = run_client_task(client.make_task(params, 0))
+        assert result.rng_state != before
+        client.consume_result(result)
+        assert client.make_task(params, 1).rng_state == result.rng_state
+
+    def test_consume_result_rejects_foreign_client(self):
+        config = smoke_scale(num_rounds=1)
+        simulation = build_simulation(config)
+        clients = list(simulation.benign_clients.values())
+        params = simulation.server.distribute()
+        result = run_client_task(clients[0].make_task(params, 0))
+        with pytest.raises(ValueError):
+            clients[1].consume_result(result)
+
+
+class TestDeterminism:
+    """Same seed ⇒ bit-identical records and parameters across backends."""
+
+    def test_serial_twice_is_identical(self):
+        first, second = _run_with(None), _run_with(None)
+        assert _records_signature(first) == _records_signature(second)
+        np.testing.assert_array_equal(first.final_params, second.final_params)
+
+    def test_threaded_matches_serial(self):
+        serial = _run_with(None)
+        threaded = _run_with(ThreadedExecutor(workers=3))
+        assert _records_signature(serial) == _records_signature(threaded)
+        np.testing.assert_array_equal(serial.final_params, threaded.final_params)
+
+    @pytest.mark.slow
+    def test_process_pool_matches_serial(self):
+        serial = _run_with(None)
+        parallel = _run_with(ParallelExecutor(workers=4))
+        assert _records_signature(serial) == _records_signature(parallel)
+        np.testing.assert_array_equal(serial.final_params, parallel.final_params)
+
+
+class TestSimulationWiring:
+    def test_executor_name_accepted_by_simulation(self, tiny_task):
+        factory = ClassifierFactory(
+            architecture="mlp", in_channels=1, image_size=12, num_classes=10, seed=0
+        )
+        simulation = FederatedSimulation(
+            task=tiny_task,
+            model_factory=factory,
+            num_clients=6,
+            clients_per_round=3,
+            malicious_fraction=0.0,
+            training_config=LocalTrainingConfig(local_epochs=1, batch_size=16, learning_rate=0.1),
+            executor="thread",
+            workers=2,
+        )
+        assert isinstance(simulation.executor, ThreadedExecutor)
+        result = simulation.run(1)
+        simulation.close()
+        assert len(result.records) == 1
+
+    def test_classifier_factory_builds_identical_models(self, tiny_task):
+        factory = ClassifierFactory.for_task(tiny_task, architecture="mlp", seed=3)
+        from repro.nn.serialization import get_flat_params
+
+        np.testing.assert_array_equal(
+            get_flat_params(factory()), get_flat_params(factory())
+        )
+        restored = pickle.loads(pickle.dumps(factory))
+        np.testing.assert_array_equal(
+            get_flat_params(factory()), get_flat_params(restored())
+        )

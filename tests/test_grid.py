@@ -1,0 +1,192 @@
+"""Tests for the scenario-grid runner: expansion, hashing, caching, dispatch."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import (
+    ExperimentRunner,
+    GridRunner,
+    GridSpec,
+    config_hash,
+    expand_grid,
+    smoke_scale,
+)
+from repro.experiments.config import ExperimentConfig
+
+
+def _tiny_grid(**overrides):
+    return expand_grid(
+        attacks=("lie",),
+        defenses=("mkrum", "median"),
+        betas=(0.5, None),
+        scale=smoke_scale,
+        num_rounds=overrides.pop("num_rounds", 1),
+        **overrides,
+    )
+
+
+class TestExpandGrid:
+    def test_cross_product_size_and_labels(self):
+        grid = _tiny_grid()
+        assert len(grid) == 4
+        labels = [label for label, _ in grid]
+        assert len(set(labels)) == 4
+        assert "fashion-mnist/mkrum/lie/beta=0.5/attackers=20%/seed=0" in labels
+        assert "fashion-mnist/median/lie/iid/attackers=20%/seed=0" in labels
+
+    def test_configs_carry_the_axis_values(self):
+        grid = expand_grid(
+            attacks=(None,),
+            defenses=("fedavg",),
+            malicious_fractions=(0.1, 0.3),
+            scale=smoke_scale,
+        )
+        fractions = sorted(config.malicious_fraction for _, config in grid)
+        assert fractions == [0.1, 0.3]
+        assert all(config.attack is None for _, config in grid)
+
+    def test_grid_spec_expand_matches_function(self):
+        spec = GridSpec(
+            attacks=("lie",),
+            defenses=("mkrum", "median"),
+            betas=(0.5, None),
+            scale=smoke_scale,
+            overrides={"num_rounds": 1},
+        )
+        assert spec.size == 4
+        assert spec.expand() == _tiny_grid()
+
+
+class TestConfigHash:
+    def test_stable_within_process(self):
+        config = smoke_scale(attack="lie", defense="mkrum")
+        assert config_hash(config) == config_hash(config)
+        assert config_hash(config) == config_hash(smoke_scale(attack="lie", defense="mkrum"))
+
+    def test_sensitive_to_any_field(self):
+        config = smoke_scale(attack="lie")
+        assert config_hash(config) != config_hash(config.with_overrides(seed=1))
+        assert config_hash(config) != config_hash(config.with_overrides(defense="mkrum"))
+
+    def test_stable_across_processes(self):
+        """hash() is salted per interpreter; config_hash must not be."""
+        config = smoke_scale(attack="lie", defense="mkrum", num_rounds=1)
+        local = config_hash(config)
+        script = (
+            "import json, sys\n"
+            "from repro.experiments import config_hash\n"
+            "from repro.experiments.config import ExperimentConfig\n"
+            "config = ExperimentConfig(**json.loads(sys.argv[1]))\n"
+            "print(config_hash(config))\n"
+        )
+        for _ in range(2):
+            output = subprocess.run(
+                [sys.executable, "-c", script, json.dumps(config.to_dict())],
+                capture_output=True,
+                text=True,
+                check=True,
+                cwd=Path(__file__).resolve().parent.parent,
+                env={"PYTHONPATH": str(Path(__file__).resolve().parent.parent / "src")},
+            ).stdout.strip()
+            assert output == local
+
+
+class TestGridRunnerCaching:
+    def test_miss_then_hit(self, tmp_path):
+        grid = _tiny_grid()
+        runner = GridRunner(workers=1, cache_dir=tmp_path)
+        first = runner.run(grid)
+        assert runner.last_stats.cache_hits == 0
+        assert runner.last_stats.executed == len(grid)
+        # 2 betas share nothing; each beta has its own clean baseline.
+        assert runner.last_stats.baselines_executed == 2
+        artifacts = list(tmp_path.glob("*.json"))
+        assert len(artifacts) == len(grid) + 2
+
+        rerun = GridRunner(workers=1, cache_dir=tmp_path)
+        second = rerun.run(grid)
+        assert rerun.last_stats.cache_hits == len(grid)
+        assert rerun.last_stats.executed == 0
+        assert rerun.last_stats.baselines_executed == 0
+        for (label_a, result_a), (label_b, result_b) in zip(first, second):
+            assert label_a == label_b
+            assert result_a.max_accuracy == result_b.max_accuracy
+            assert result_a.asr == result_b.asr
+            assert [r.accuracy for r in result_a.records] == [
+                r.accuracy for r in result_b.records
+            ]
+
+    def test_partial_cache_only_runs_missing_cells(self, tmp_path):
+        grid = _tiny_grid()
+        GridRunner(workers=1, cache_dir=tmp_path).run(grid[:2])
+        runner = GridRunner(workers=1, cache_dir=tmp_path)
+        runner.run(grid)
+        assert runner.last_stats.cache_hits == 2
+        assert runner.last_stats.executed == 2
+
+    def test_corrupt_artifact_reruns(self, tmp_path):
+        grid = _tiny_grid()[:1]
+        runner = GridRunner(workers=1, cache_dir=tmp_path)
+        runner.run(grid)
+        for artifact in tmp_path.glob("*.json"):
+            artifact.write_text("{not json")
+        rerun = GridRunner(workers=1, cache_dir=tmp_path)
+        rerun.run(grid)
+        assert rerun.last_stats.cache_hits == 0
+        assert rerun.last_stats.executed == 1
+
+    def test_duplicate_labels_rejected(self):
+        grid = _tiny_grid()
+        duplicated = [("same-label", config) for _, config in grid[:2]]
+        with pytest.raises(ValueError, match="duplicate scenario labels"):
+            GridRunner(workers=1).run(duplicated)
+
+    def test_no_cache_dir_disables_caching(self):
+        grid = _tiny_grid()[:1]
+        runner = GridRunner(workers=1)
+        runner.run(grid)
+        runner.run(grid)
+        assert runner.last_stats.cache_hits == 0
+        assert runner.last_stats.executed == 1
+
+    def test_results_keep_input_order_and_metrics(self, tmp_path):
+        grid = _tiny_grid()
+        results = GridRunner(workers=1, cache_dir=tmp_path).run(grid)
+        assert [label for label, _ in results] == [label for label, _ in grid]
+        for _, result in results:
+            assert result.baseline_accuracy is not None
+            assert result.asr is not None
+
+
+@pytest.mark.slow
+class TestGridRunnerParallel:
+    def test_parallel_matches_serial(self, tmp_path):
+        grid = _tiny_grid()
+        serial = GridRunner(workers=1).run(grid)
+        parallel = GridRunner(workers=2, cache_dir=tmp_path / "cache").run(grid)
+        for (label_a, result_a), (label_b, result_b) in zip(serial, parallel):
+            assert label_a == label_b
+            assert result_a.max_accuracy == result_b.max_accuracy
+            assert result_a.asr == result_b.asr
+
+    def test_run_many_workers_matches_serial(self):
+        configs = [config for _, config in _tiny_grid()]
+        serial = ExperimentRunner().run_many(configs)
+        parallel = ExperimentRunner().run_many(configs, workers=2)
+        assert [r.max_accuracy for r in serial] == [r.max_accuracy for r in parallel]
+        assert [r.asr for r in serial] == [r.asr for r in parallel]
+
+    def test_progress_streams_one_line_per_cell(self, tmp_path):
+        lines = []
+        grid = _tiny_grid()
+        GridRunner(workers=2, cache_dir=tmp_path, progress=lines.append).run(grid)
+        grid_lines = [line for line in lines if line.startswith("[grid")]
+        assert len(grid_lines) == len(grid)
+        GridRunner(workers=2, cache_dir=tmp_path, progress=lines.append).run(grid)
+        assert sum(1 for line in lines if line.startswith("[cache]")) == len(grid)

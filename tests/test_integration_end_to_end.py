@@ -17,6 +17,8 @@ from repro.experiments import ExperimentRunner, smoke_scale
 from repro.fl import FederatedSimulation, LocalTrainingConfig
 from repro.metrics import attack_success_rate, defense_pass_rate
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def strong_task():

@@ -8,7 +8,7 @@ import pytest
 from repro.nn import functional as F
 from repro.nn.tensor import Tensor
 
-from conftest import numerical_gradient
+from helpers import numerical_gradient
 
 
 class TestShapeArithmetic:

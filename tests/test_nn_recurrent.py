@@ -10,7 +10,7 @@ from repro.nn import functional as F
 from repro.nn.recurrent import GRU, Embedding, GRUCell
 from repro.nn.tensor import Tensor
 
-from conftest import numerical_gradient
+from helpers import numerical_gradient
 
 
 class TestEmbedding:

@@ -7,7 +7,7 @@ import pytest
 
 from repro.nn.tensor import DEFAULT_DTYPE, Tensor, is_grad_enabled, no_grad
 
-from conftest import numerical_gradient
+from helpers import numerical_gradient
 
 
 class TestConstruction:
