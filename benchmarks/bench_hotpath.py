@@ -1,0 +1,612 @@
+"""Hot-path microbenchmarks: conv kernels, flat params, dispatch, REFD scoring.
+
+Every metric compares the *current* implementation against an in-file copy of
+the pre-PR ("legacy") implementation, so the speedups are machine-fair — the
+baseline is recomputed on whatever machine runs the benchmark.  The
+end-to-end round metric additionally records the absolute pre-PR round time
+measured on the reference machine when the optimisation PR was authored (see
+``PRE_PR_REFERENCE``).
+
+Run standalone to write ``BENCH_hotpath.json``::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --output BENCH_hotpath.json
+
+or with ``--check`` to additionally enforce the (generous) CI regression
+thresholds.  It also runs under pytest like the other benchmarks::
+
+    python -m pytest benchmarks/bench_hotpath.py
+
+Metric notes
+------------
+``conv_bwd_params`` is the backward pass as the training loop actually runs
+it for an input layer: the images tensor does not require grad, so the new
+kernels skip the ``grad_x`` column scatter entirely (the legacy kernels
+always computed it).  ``conv_step_all_grads`` is a full forward+backward with
+every gradient required — the mid-layer profile.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.defenses import Refd
+from repro.experiments import benchmark_scale, build_simulation
+from repro.fl.executor import ParallelExecutor
+from repro.fl.training import predict_proba
+from repro.fl.types import DefenseContext, ModelUpdate
+from repro.models import CifarCNN, SmallCNN
+from repro.nn import functional as F
+from repro.nn.serialization import get_flat_params, set_flat_params
+from repro.nn.tensor import Tensor
+from repro.utils import format_table
+
+# Absolute end-to-end round time of the pre-PR code on the machine that
+# authored the optimisation PR (serial FashionCNN/28px/REFD round, see
+# ``_e2e_config``).  Kernel metrics do not use this — they re-measure their
+# own legacy baselines in-process.
+PRE_PR_REFERENCE = {
+    "e2e_round_serial_s": 0.1290,
+    "e2e_round_process2_s": 0.1420,
+    "machine": "Linux-6.18.5-fc-v18-x86_64 (1 CPU, numpy 2.4.6, OpenBLAS)",
+}
+
+#: Generous CI regression thresholds (the measured speedups are well above
+#: these; the slack absorbs noisy shared runners).
+CHECK_THRESHOLDS = {
+    "conv_fwd": 1.15,
+    "conv_bwd_params": 1.5,
+    "conv_step_all_grads": 1.0,
+    "flat_roundtrip": 1.2,
+    "refd_scoring": 1.0,
+    "round_dispatch_shm": 0.7,
+    "e2e_round": 1.2,
+}
+
+
+# ----------------------------------------------------------------------
+# Legacy (pre-PR) kernel implementations, kept verbatim for fair baselines
+# ----------------------------------------------------------------------
+def _legacy_im2col(x, kernel, stride, padding):
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    out_h = (h + 2 * padding - kh) // stride + 1
+    out_w = (w + 2 * padding - kw) // stride + 1
+    padded = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    cols = np.empty((n, c, kh, kw, out_h, out_w), dtype=x.dtype)
+    for i in range(kh):
+        i_end = i + stride * out_h
+        for j in range(kw):
+            j_end = j + stride * out_w
+            cols[:, :, i, j, :, :] = padded[:, :, i:i_end:stride, j:j_end:stride]
+    return cols.reshape(n, c * kh * kw, out_h * out_w), out_h, out_w
+
+
+def _legacy_col2im(cols, input_shape, kernel, stride, padding):
+    n, c, h, w = input_shape
+    kh, kw = kernel
+    out_h = (h + 2 * padding - kh) // stride + 1
+    out_w = (w + 2 * padding - kw) // stride + 1
+    cols = cols.reshape(n, c, kh, kw, out_h, out_w)
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    for i in range(kh):
+        i_end = i + stride * out_h
+        for j in range(kw):
+            j_end = j + stride * out_w
+            padded[:, :, i:i_end:stride, j:j_end:stride] += cols[:, :, i, j, :, :]
+    if padding == 0:
+        return padded
+    return padded[:, :, padding:-padding, padding:-padding]
+
+
+def _legacy_conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor], stride, padding):
+    """The pre-PR conv2d: einsum kernels, every gradient always computed."""
+    x_data, w_data = x.data, weight.data
+    out_channels = w_data.shape[0]
+    kh, kw = w_data.shape[2], w_data.shape[3]
+    cols, out_h, out_w = _legacy_im2col(x_data, (kh, kw), stride, padding)
+    w_mat = w_data.reshape(out_channels, -1)
+    out = np.einsum("of,nfl->nol", w_mat, cols, optimize=True)
+    out = out.reshape(x_data.shape[0], out_channels, out_h, out_w)
+    if bias is not None:
+        out = out + bias.data.reshape(1, out_channels, 1, 1)
+    input_shape = x_data.shape
+
+    def backward(grad):
+        grad_mat = grad.reshape(grad.shape[0], out_channels, -1)
+        grad_w = np.einsum("nol,nfl->of", grad_mat, cols, optimize=True)
+        grad_w = grad_w.reshape(w_data.shape)
+        grad_cols = np.einsum("of,nol->nfl", w_mat, grad_mat, optimize=True)
+        grad_x = _legacy_col2im(grad_cols, input_shape, (kh, kw), stride, padding)
+        grad_b = grad.sum(axis=(0, 2, 3)) if bias is not None else None
+        if bias is not None:
+            return (grad_x, grad_w, grad_b)
+        return (grad_x, grad_w)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    return Tensor._from_op(out, parents, backward)
+
+
+def _legacy_get_flat_params(module, dtype=np.float64):
+    chunks = [param.data.ravel().astype(dtype) for param in module.parameters()]
+    if not chunks:
+        return np.zeros(0, dtype=dtype)
+    return np.concatenate(chunks)
+
+
+def _legacy_refd_score(update, images, model_factory):
+    """Pre-PR REFD scoring: fresh model per update, list-based predict."""
+    from repro.defenses.refd import balance_value, confidence_value, d_score
+
+    model = model_factory()
+    set_flat_params(model, update.parameters)
+    outputs = []
+    batch_size = 256
+    from repro.nn.tensor import no_grad
+
+    model.eval()
+    with no_grad():
+        for start in range(0, images.shape[0], batch_size):
+            logits = model(Tensor(images[start : start + batch_size]))
+            outputs.append(F.softmax(logits, axis=-1).data)
+    probabilities = np.concatenate(outputs, axis=0)
+    num_classes = probabilities.shape[1]
+    predicted = probabilities.argmax(axis=1)
+    counts = np.bincount(predicted, minlength=num_classes)
+    balance = balance_value(counts)
+    confidence = confidence_value(probabilities)
+    return d_score(balance, confidence)
+
+
+# ----------------------------------------------------------------------
+# Timing helpers
+# ----------------------------------------------------------------------
+def _best_of(fn: Callable[[], object], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+#: (name, input shape, weight shape, stride, padding) — the conv geometries
+#: of the paper's primary models (FashionCNN layers 1/2, CifarCNN layer 3).
+CONV_CASES = [
+    ("fashion_l1", (32, 1, 28, 28), (16, 1, 3, 3), 2, 1),
+    ("fashion_l2", (32, 16, 14, 14), (32, 16, 3, 3), 2, 1),
+    ("cifar_l3", (32, 16, 16, 16), (32, 16, 3, 3), 1, 1),
+]
+
+
+def _conv_tensors(case, requires_grad_x: bool):
+    _, x_shape, w_shape, stride, padding = case
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.standard_normal(x_shape).astype(np.float32), requires_grad=requires_grad_x)
+    w = Tensor(rng.standard_normal(w_shape).astype(np.float32), requires_grad=True)
+    b = Tensor(rng.standard_normal(w_shape[0]).astype(np.float32), requires_grad=True)
+    return x, w, b, stride, padding
+
+
+def bench_conv_forward(repeats: int) -> Dict[str, Dict[str, float]]:
+    """Forward pass, inference configuration (no gradients recorded)."""
+    results = {}
+    for case in CONV_CASES:
+        x, w, b, stride, padding = _conv_tensors(case, requires_grad_x=False)
+        x.requires_grad = False
+        w.requires_grad = False
+        b.requires_grad = False
+        legacy = _best_of(lambda: _legacy_conv2d(x, w, b, stride, padding), repeats)
+        current = _best_of(lambda: F.conv2d(x, w, b, stride=stride, padding=padding), repeats)
+        results[case[0]] = {"legacy_s": legacy, "current_s": current, "speedup": legacy / current}
+    return results
+
+
+def bench_conv_backward_params(repeats: int) -> Dict[str, Dict[str, float]]:
+    """Backward pass, input-layer training profile (grads w.r.t. w and b only).
+
+    This is what every training step runs for the first conv layer: the
+    images tensor never requires grad, so the current kernels skip the
+    column scatter back to the input.  The legacy kernels computed it
+    unconditionally — that waste is exactly what this metric exposes.
+    """
+    results = {}
+    for case in CONV_CASES:
+        x, w, b, stride, padding = _conv_tensors(case, requires_grad_x=False)
+
+        legacy_out = _legacy_conv2d(x, w, b, stride, padding)
+        current_out = F.conv2d(x, w, b, stride=stride, padding=padding)
+        grad = np.ones_like(legacy_out.data)
+
+        def run_legacy():
+            w.grad = b.grad = None
+            legacy_out.backward(grad)
+
+        def run_current():
+            w.grad = b.grad = None
+            current_out.backward(grad)
+
+        legacy = _best_of(run_legacy, repeats)
+        current = _best_of(run_current, repeats)
+        results[case[0]] = {"legacy_s": legacy, "current_s": current, "speedup": legacy / current}
+    return results
+
+
+def bench_conv_step_all_grads(repeats: int) -> Dict[str, Dict[str, float]]:
+    """Forward + backward with every gradient required (mid-layer profile)."""
+    results = {}
+    for case in CONV_CASES:
+        x, w, b, stride, padding = _conv_tensors(case, requires_grad_x=True)
+        grad_shape = F.conv2d(x, w, b, stride=stride, padding=padding).shape
+        grad = np.ones(grad_shape, dtype=np.float32)
+
+        def run_legacy():
+            x.grad = w.grad = b.grad = None
+            _legacy_conv2d(x, w, b, stride, padding).backward(grad)
+
+        def run_current():
+            x.grad = w.grad = b.grad = None
+            F.conv2d(x, w, b, stride=stride, padding=padding).backward(grad)
+
+        legacy = _best_of(run_legacy, repeats)
+        current = _best_of(run_current, repeats)
+        results[case[0]] = {"legacy_s": legacy, "current_s": current, "speedup": legacy / current}
+    return results
+
+
+def bench_flat_params(repeats: int) -> Dict[str, float]:
+    """Flat-parameter round trip on the paper's CIFAR model (~300k params)."""
+    model = CifarCNN(in_channels=3, image_size=32, width=16, rng=np.random.default_rng(0))
+    clone = CifarCNN(in_channels=3, image_size=32, width=16, rng=np.random.default_rng(1))
+
+    def legacy_roundtrip():
+        set_flat_params(clone, _legacy_get_flat_params(model))
+
+    def current_roundtrip():
+        set_flat_params(clone, get_flat_params(model))
+
+    legacy = _best_of(legacy_roundtrip, repeats)
+    current = _best_of(current_roundtrip, repeats)
+    return {
+        "legacy_s": legacy,
+        "current_s": current,
+        "speedup": legacy / current,
+        "legacy_nbytes": int(_legacy_get_flat_params(model).nbytes),
+        "current_nbytes": int(get_flat_params(model).nbytes),
+    }
+
+
+def _refd_setup():
+    rng = np.random.default_rng(0)
+    factory = lambda: SmallCNN(in_channels=1, image_size=16, width=8, rng=np.random.default_rng(5))
+    base = get_flat_params(factory())
+    updates = [
+        ModelUpdate(
+            client_id=i,
+            parameters=base + 0.1 * rng.standard_normal(base.shape).astype(np.float32),
+            num_samples=40,
+        )
+        for i in range(8)
+    ]
+    images = rng.standard_normal((160, 1, 16, 16)).astype(np.float32)
+    return factory, updates, images
+
+
+def bench_refd_scoring(repeats: int) -> Dict[str, float]:
+    """Per-round REFD scoring of 8 updates on a 160-image reference set."""
+    factory, updates, images = _refd_setup()
+    defense = Refd(num_rejected=2)
+    context = DefenseContext(
+        round_number=0,
+        global_params=updates[0].parameters,
+        expected_num_malicious=2,
+        rng=np.random.default_rng(0),
+        model_factory=factory,
+    )
+
+    def legacy_round():
+        return [_legacy_refd_score(update, images, factory) for update in updates]
+
+    def current_round():
+        return defense.score_updates(updates, images, context)
+
+    legacy_scores = legacy_round()
+    current_scores = [report.score for report in current_round()]
+    np.testing.assert_allclose(legacy_scores, current_scores, rtol=1e-12)
+
+    legacy = _best_of(legacy_round, repeats)
+    current = _best_of(current_round, repeats)
+    return {"legacy_s": legacy, "current_s": current, "speedup": legacy / current}
+
+
+def _e2e_config(num_rounds: int = 4):
+    return benchmark_scale(
+        attack="lie",
+        defense="refd",
+        num_rounds=num_rounds,
+        architecture="fashion-cnn",
+        image_size=28,
+        train_size=800,
+        test_size=320,
+        batch_size=32,
+    )
+
+
+def bench_round_dispatch(repeats: int) -> Dict[str, float]:
+    """Process-pool round dispatch: shared-memory broadcast vs inline pickling."""
+    config = _e2e_config()
+    results: Dict[str, float] = {}
+    for label, use_shm in (("inline", False), ("shm", True)):
+        executor = ParallelExecutor(workers=2, use_shared_memory=use_shm)
+        with build_simulation(config, executor=executor) as simulation:
+            simulation.run_round()  # warm the pool
+            results[f"{label}_s"] = _best_of(simulation.run_round, max(2, repeats // 8))
+            if use_shm:
+                results["shm_rounds"] = executor.shm_rounds
+    results["speedup"] = results["inline_s"] / results["shm_s"]
+    return results
+
+
+def _legacy_sgd_step(self):
+    """Pre-PR out-of-place SGD step (allocates fresh arrays per parameter)."""
+    for param in self.parameters:
+        if param.grad is None:
+            continue
+        grad = param.grad
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param.data
+        if self.momentum:
+            velocity = self._velocity.get(id(param))
+            if velocity is None:
+                velocity = np.zeros_like(param.data)
+            velocity = self.momentum * velocity + grad
+            self._velocity[id(param)] = velocity
+            grad = velocity
+        param.data = param.data - self.lr * grad
+
+
+def _legacy_refd_score_updates(self, updates, images, context):
+    """Pre-PR REFD scoring: one fresh model + fresh buffers per update."""
+    from repro.defenses.refd import DScoreReport, balance_value, confidence_value, d_score
+
+    reports = []
+    for update in updates:
+        model = context.model_factory()
+        set_flat_params(model, update.parameters)
+        probabilities = predict_proba(model, images)
+        num_classes = probabilities.shape[1]
+        predicted = probabilities.argmax(axis=1)
+        counts = np.bincount(predicted, minlength=num_classes)
+        balance = balance_value(counts)
+        confidence = confidence_value(probabilities)
+        reports.append(
+            DScoreReport(
+                client_id=update.client_id,
+                balance=balance,
+                confidence=confidence,
+                score=d_score(balance, confidence, self.alpha),
+            )
+        )
+    return reports
+
+
+class _legacy_kernels:
+    """Context manager swapping the hot-path kernels back to their pre-PR
+    implementations (conv, float64 flat-param transport, out-of-place SGD,
+    per-update REFD scoring) so the end-to-end comparison is machine-fair."""
+
+    def __enter__(self):
+        import repro.fl.executor as executor_module
+        import repro.fl.server as server_module
+        from repro.nn.optim import SGD
+
+        self._saved = (
+            F.conv2d,
+            executor_module.get_flat_params,
+            SGD.step,
+            Refd.score_updates,
+        )
+        F.conv2d = lambda x, weight, bias=None, stride=1, padding=0: _legacy_conv2d(
+            x, weight, bias, stride, padding
+        )
+        executor_module.get_flat_params = _legacy_get_flat_params
+        SGD.step = _legacy_sgd_step
+        Refd.score_updates = _legacy_refd_score_updates
+        return self
+
+    def __exit__(self, *exc_info):
+        import repro.fl.executor as executor_module
+        from repro.nn.optim import SGD
+
+        (F.conv2d, executor_module.get_flat_params, SGD.step, Refd.score_updates) = self._saved
+
+
+def bench_e2e_round(repeats: int) -> Dict[str, float]:
+    """Serial end-to-end round: FashionCNN 28×28, LIE attack, REFD defense.
+
+    The baseline re-runs the same rounds with the pre-PR kernels patched
+    back in (legacy conv, float64 flat-param transport, out-of-place SGD,
+    per-update REFD scoring), so the speedup is measured on the same
+    machine in the same process.  ``PRE_PR_REFERENCE`` additionally records
+    the absolute pre-PR round time from the authoring machine.
+    """
+    rounds = max(3, repeats // 8)
+    with _legacy_kernels():
+        with build_simulation(_e2e_config()) as simulation:
+            simulation.run_round()  # warm caches
+            legacy = _best_of(simulation.run_round, rounds)
+    with build_simulation(_e2e_config()) as simulation:
+        simulation.run_round()
+        current = _best_of(simulation.run_round, rounds)
+    return {
+        "legacy_s": legacy,
+        "current_s": current,
+        "speedup": legacy / current,
+        "pre_pr_reference_s": PRE_PR_REFERENCE["e2e_round_serial_s"],
+        "pre_pr_machine": PRE_PR_REFERENCE["machine"],
+    }
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+def run_suite(repeats: int = 25, include_dispatch: bool = True, include_e2e: bool = True):
+    """Run every hot-path benchmark and return the results dict."""
+    results: Dict[str, object] = {}
+    results["conv_fwd"] = bench_conv_forward(repeats)
+    results["conv_bwd_params"] = bench_conv_backward_params(repeats)
+    results["conv_step_all_grads"] = bench_conv_step_all_grads(repeats)
+    results["flat_roundtrip"] = bench_flat_params(repeats)
+    results["refd_scoring"] = bench_refd_scoring(max(3, repeats // 5))
+    if include_dispatch:
+        results["round_dispatch"] = bench_round_dispatch(repeats)
+    if include_e2e:
+        results["e2e_round"] = bench_e2e_round(repeats)
+    return results
+
+
+def _aggregate_speedups(results) -> Dict[str, float]:
+    """One headline speedup per metric (geometric mean over conv cases)."""
+    headline: Dict[str, float] = {}
+    for metric in ("conv_fwd", "conv_bwd_params", "conv_step_all_grads"):
+        if metric in results:
+            speedups = [case["speedup"] for case in results[metric].values()]
+            headline[metric] = float(np.exp(np.mean(np.log(speedups))))
+    for metric in ("flat_roundtrip", "refd_scoring"):
+        if metric in results:
+            headline[metric] = float(results[metric]["speedup"])
+    if "round_dispatch" in results:
+        headline["round_dispatch_shm"] = float(results["round_dispatch"]["speedup"])
+    if "e2e_round" in results:
+        headline["e2e_round"] = float(results["e2e_round"]["speedup"])
+    return headline
+
+
+def check_thresholds(headline: Dict[str, float]) -> Dict[str, Tuple[float, float, bool]]:
+    """Compare headline speedups against the generous CI thresholds."""
+    verdicts = {}
+    for metric, minimum in CHECK_THRESHOLDS.items():
+        if metric in headline:
+            verdicts[metric] = (headline[metric], minimum, headline[metric] >= minimum)
+    return verdicts
+
+
+def render_table(results, headline) -> str:
+    rows = []
+    for metric in ("conv_fwd", "conv_bwd_params", "conv_step_all_grads"):
+        if metric not in results:
+            continue
+        for case, numbers in results[metric].items():
+            rows.append(
+                [
+                    f"{metric}/{case}",
+                    f"{numbers['legacy_s'] * 1e6:.0f}",
+                    f"{numbers['current_s'] * 1e6:.0f}",
+                    f"{numbers['speedup']:.2f}x",
+                ]
+            )
+    for metric in ("flat_roundtrip", "refd_scoring"):
+        if metric in results:
+            numbers = results[metric]
+            rows.append(
+                [
+                    metric,
+                    f"{numbers['legacy_s'] * 1e6:.0f}",
+                    f"{numbers['current_s'] * 1e6:.0f}",
+                    f"{numbers['speedup']:.2f}x",
+                ]
+            )
+    if "round_dispatch" in results:
+        numbers = results["round_dispatch"]
+        rows.append(
+            [
+                "round_dispatch(shm vs inline)",
+                f"{numbers['inline_s'] * 1e6:.0f}",
+                f"{numbers['shm_s'] * 1e6:.0f}",
+                f"{numbers['speedup']:.2f}x",
+            ]
+        )
+    if "e2e_round" in results:
+        numbers = results["e2e_round"]
+        rows.append(
+            [
+                "e2e_round(legacy kernels)",
+                f"{numbers['legacy_s'] * 1e6:.0f}",
+                f"{numbers['current_s'] * 1e6:.0f}",
+                f"{numbers['speedup']:.2f}x",
+            ]
+        )
+    return format_table(["metric", "before (us)", "after (us)", "speedup"], rows)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_hotpath.json", help="JSON output path")
+    parser.add_argument("--repeats", type=int, default=25, help="timing repeats per metric")
+    parser.add_argument("--check", action="store_true", help="enforce CI regression thresholds")
+    parser.add_argument("--skip-dispatch", action="store_true", help="skip the process-pool metric")
+    parser.add_argument("--skip-e2e", action="store_true", help="skip the end-to-end round metric")
+    args = parser.parse_args(argv)
+
+    results = run_suite(
+        repeats=args.repeats,
+        include_dispatch=not args.skip_dispatch,
+        include_e2e=not args.skip_e2e,
+    )
+    headline = _aggregate_speedups(results)
+    print(render_table(results, headline))
+    print()
+    for metric, value in headline.items():
+        print(f"{metric:24s} {value:5.2f}x")
+
+    payload = {
+        "meta": {
+            "machine": platform.platform(),
+            "cpus": os.cpu_count(),
+            "numpy": np.__version__,
+            "python": platform.python_version(),
+        },
+        "pre_pr_reference": PRE_PR_REFERENCE,
+        "results": results,
+        "headline_speedups": headline,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    print(f"\nwrote {args.output}")
+
+    if args.check:
+        verdicts = check_thresholds(headline)
+        failed = {m: v for m, v in verdicts.items() if not v[2]}
+        for metric, (value, minimum, ok) in verdicts.items():
+            print(f"check {metric:24s} {value:5.2f}x >= {minimum:.2f}x  {'ok' if ok else 'FAIL'}")
+        if failed:
+            return 1
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest entry point (same suite, smaller repeat counts)
+# ----------------------------------------------------------------------
+def test_hotpath_kernels_beat_legacy(report):
+    results = run_suite(repeats=8, include_dispatch=False, include_e2e=False)
+    headline = _aggregate_speedups(results)
+    report(
+        "Hot-path microbenchmarks (legacy vs current)",
+        render_table(results, headline),
+        note="conv_bwd_params is the input-layer training profile (no grad_x).",
+    )
+    assert headline["conv_fwd"] > 1.0
+    assert headline["conv_bwd_params"] >= 1.5
+    assert headline["flat_roundtrip"] > 1.0
+    assert results["flat_roundtrip"]["legacy_nbytes"] == 2 * results["flat_roundtrip"]["current_nbytes"]
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -58,7 +58,7 @@ class Attack(ABC):
         return [
             ModelUpdate(
                 client_id=client_id,
-                parameters=np.array(vector, dtype=np.float64, copy=True),
+                parameters=np.array(vector, copy=True),
                 num_samples=num_samples,
                 is_malicious=True,
             )

@@ -17,7 +17,7 @@ from typing import List, Sequence
 import numpy as np
 
 from ..fl.types import AggregationResult, DefenseContext, ModelUpdate
-from .refd import Refd
+from .refd import DScoreReport, Refd, d_scores
 
 __all__ = ["AdaptiveRefd"]
 
@@ -85,10 +85,22 @@ class AdaptiveRefd(Refd):
     ) -> AggregationResult:
         self._validate(updates)
         images, _ = self._reference_arrays(context)
-        # Score once with the current α to observe the statistics, adapt, then
-        # delegate to the parent implementation (which re-scores with the new α).
-        reports = [self.score_update(update, images, context) for update in updates]
+        # One batched inference pass observes the statistics.  The balance and
+        # confidence values do not depend on α, so after adapting it only the
+        # D-scores need recomputing — no second pass over the reference set.
+        updates = list(updates)
+        reports = self.score_updates(updates, images, context)
         balances = np.array([report.balance for report in reports])
         confidences = np.array([report.confidence for report in reports])
         self._adapt_alpha(balances, confidences)
-        return super().aggregate(updates, context)
+        scores = d_scores(balances, confidences, self.alpha)
+        reports = [
+            DScoreReport(
+                client_id=report.client_id,
+                balance=report.balance,
+                confidence=report.confidence,
+                score=float(scores[index]),
+            )
+            for index, report in enumerate(reports)
+        ]
+        return self._filter_and_aggregate(updates, reports)

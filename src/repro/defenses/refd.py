@@ -13,6 +13,13 @@ computed from the predictions:
 
 They are combined into the F-beta-style **D-score** (Eq. 8) and the ``X``
 updates with the lowest D-scores are removed before FedAvg aggregation.
+
+Scoring is *batched*: one fused loop drives all candidate models through the
+reference set, reusing a single model instance and one preallocated
+probability buffer, and the balance/confidence/D-score statistics are then
+computed vectorized over the update axis.  When the round runs on a
+thread-pool executor, the per-update inference optionally fans out across
+it (see :meth:`Refd.score_updates`).
 """
 
 from __future__ import annotations
@@ -27,16 +34,37 @@ from ..fl.types import AggregationResult, DefenseContext, ModelUpdate
 from ..nn.serialization import set_flat_params
 from .base import Defense
 
-__all__ = ["Refd", "DScoreReport", "balance_value", "confidence_value", "d_score"]
+__all__ = [
+    "Refd",
+    "DScoreReport",
+    "balance_value",
+    "balance_values",
+    "confidence_value",
+    "confidence_values",
+    "d_score",
+    "d_scores",
+]
+
+
+def balance_values(class_counts: np.ndarray) -> np.ndarray:
+    """Balance values ``B_i`` (Eq. 6) for a ``(num_updates, num_classes)`` batch."""
+    class_counts = np.asarray(class_counts, dtype=np.float64)
+    stds = class_counts.std(axis=-1)
+    balances = np.ones_like(stds)
+    nonzero = stds != 0.0
+    balances[nonzero] = 1.0 / stds[nonzero]
+    return balances
 
 
 def balance_value(class_counts: np.ndarray) -> float:
     """Balance value ``B_i`` (Eq. 6): inverse std of the predicted-label histogram."""
-    class_counts = np.asarray(class_counts, dtype=np.float64)
-    std = float(class_counts.std())
-    if std == 0.0:
-        return 1.0
-    return 1.0 / std
+    return float(balance_values(np.asarray(class_counts)[None, :])[0])
+
+
+def confidence_values(max_probabilities: np.ndarray) -> np.ndarray:
+    """Confidence values ``V_i`` (Eq. 7) from a ``(num_updates, num_samples)``
+    matrix of per-sample maximum class probabilities."""
+    return np.asarray(max_probabilities, dtype=np.float64).mean(axis=-1)
 
 
 def confidence_value(probabilities: np.ndarray) -> float:
@@ -47,12 +75,24 @@ def confidence_value(probabilities: np.ndarray) -> float:
     return float(probabilities.max(axis=1).mean())
 
 
+def d_scores(
+    balances: np.ndarray, confidences: np.ndarray, alpha: float = 1.0
+) -> np.ndarray:
+    """D-scores (Eq. 8), vectorized over the update axis."""
+    balances = np.asarray(balances, dtype=np.float64)
+    confidences = np.asarray(confidences, dtype=np.float64)
+    denominator = alpha ** 2 * balances + confidences
+    scores = np.zeros_like(denominator)
+    valid = denominator > 0.0
+    scores[valid] = (
+        (1.0 + alpha ** 2) * balances[valid] * confidences[valid] / denominator[valid]
+    )
+    return scores
+
+
 def d_score(balance: float, confidence: float, alpha: float = 1.0) -> float:
     """D-score (Eq. 8): F-beta style combination of balance and confidence."""
-    denominator = alpha ** 2 * balance + confidence
-    if denominator <= 0.0:
-        return 0.0
-    return (1.0 + alpha ** 2) * balance * confidence / denominator
+    return float(d_scores(np.asarray([balance]), np.asarray([confidence]), alpha)[0])
 
 
 @dataclass
@@ -114,37 +154,94 @@ class Refd(Defense):
             images, labels = images[chosen], labels[chosen]
         return images, labels
 
+    # ------------------------------------------------------------------
+    def _evaluate_batched(
+        self,
+        updates: Sequence[ModelUpdate],
+        images: np.ndarray,
+        context: DefenseContext,
+    ) -> Tuple[np.ndarray, np.ndarray, int]:
+        """Reference-set predictions of every update through one fused loop.
+
+        Returns ``(predicted, max_probs, num_classes)`` where ``predicted``
+        is the ``(num_updates, num_samples)`` argmax matrix and ``max_probs``
+        the matching maximum-probability matrix.  One model instance and one
+        probability buffer are reused across all updates; when the round
+        executor advertises generic fan-out (thread pool), the per-update
+        inference runs through it instead.
+        """
+        from ..fl.training import predict_proba  # local import to avoid cycles
+
+        executor = context.executor
+        if executor is not None and getattr(executor, "supports_generic_fanout", False):
+            factory = context.model_factory
+
+            def evaluate(update: ModelUpdate):
+                model = factory()
+                set_flat_params(model, update.parameters)
+                probs = predict_proba(model, images)
+                return probs.argmax(axis=1), probs.max(axis=1), probs.shape[1]
+
+            rows = executor.map_fn(evaluate, list(updates))
+            predicted = np.stack([row[0] for row in rows], axis=0)
+            max_probs = np.stack([row[1] for row in rows], axis=0).astype(np.float64)
+            return predicted, max_probs, rows[0][2]
+
+        model = context.model_factory()
+        probs_buffer: Optional[np.ndarray] = None
+        predicted: Optional[np.ndarray] = None
+        max_probs: Optional[np.ndarray] = None
+        num_classes = 0
+        for index, update in enumerate(updates):
+            set_flat_params(model, update.parameters)
+            probs_buffer = predict_proba(model, images, out=probs_buffer)
+            if predicted is None:
+                num_classes = probs_buffer.shape[1]
+                predicted = np.empty((len(updates), probs_buffer.shape[0]), dtype=np.int64)
+                max_probs = np.empty((len(updates), probs_buffer.shape[0]), dtype=np.float64)
+            predicted[index] = probs_buffer.argmax(axis=1)
+            max_probs[index] = probs_buffer.max(axis=1)
+        return predicted, max_probs, num_classes
+
+    def score_updates(
+        self,
+        updates: Sequence[ModelUpdate],
+        images: np.ndarray,
+        context: DefenseContext,
+    ) -> List[DScoreReport]:
+        """Batched D-score reports for all updates on the reference images."""
+        if context.model_factory is None:
+            raise ValueError("REFD requires a model factory to evaluate updates")
+        if not updates:
+            return []
+        predicted, max_probs, num_classes = self._evaluate_batched(updates, images, context)
+        counts = np.zeros((len(updates), num_classes), dtype=np.int64)
+        np.add.at(counts, (np.arange(len(updates))[:, None], predicted), 1)
+        balances = balance_values(counts)
+        confidences = confidence_values(max_probs)
+        scores = d_scores(balances, confidences, self.alpha)
+        return [
+            DScoreReport(
+                client_id=update.client_id,
+                balance=float(balances[index]),
+                confidence=float(confidences[index]),
+                score=float(scores[index]),
+            )
+            for index, update in enumerate(updates)
+        ]
+
     def score_update(
         self, update: ModelUpdate, images: np.ndarray, context: DefenseContext
     ) -> DScoreReport:
         """Compute the D-score report of one update on the reference images."""
-        if context.model_factory is None:
-            raise ValueError("REFD requires a model factory to evaluate updates")
-        from ..fl.training import predict_proba  # local import to avoid cycles
+        return self.score_updates([update], images, context)[0]
 
-        model = context.model_factory()
-        set_flat_params(model, update.parameters)
-        probabilities = predict_proba(model, images)
-        num_classes = probabilities.shape[1]
-        predicted = probabilities.argmax(axis=1)
-        counts = np.bincount(predicted, minlength=num_classes)
-        balance = balance_value(counts)
-        confidence = confidence_value(probabilities)
-        return DScoreReport(
-            client_id=update.client_id,
-            balance=balance,
-            confidence=confidence,
-            score=d_score(balance, confidence, self.alpha),
-        )
-
-    def aggregate(
-        self, updates: Sequence[ModelUpdate], context: DefenseContext
+    # ------------------------------------------------------------------
+    def _filter_and_aggregate(
+        self, updates: Sequence[ModelUpdate], reports: List[DScoreReport]
     ) -> AggregationResult:
-        self._validate(updates)
-        images, _ = self._reference_arrays(context)
-        reports = [self.score_update(update, images, context) for update in updates]
+        """Drop the ``X`` lowest-scoring updates and FedAvg the rest."""
         self.last_reports = reports
-
         num_rejected = min(self.num_rejected, len(updates) - 1)
         order = np.argsort([report.score for report in reports])
         rejected = set(int(i) for i in order[:num_rejected])
@@ -155,3 +252,11 @@ class Refd(Defense):
             accepted_client_ids=accepted_ids,
             scores={report.client_id: report.score for report in reports},
         )
+
+    def aggregate(
+        self, updates: Sequence[ModelUpdate], context: DefenseContext
+    ) -> AggregationResult:
+        self._validate(updates)
+        images, _ = self._reference_arrays(context)
+        reports = self.score_updates(list(updates), images, context)
+        return self._filter_and_aggregate(list(updates), reports)

@@ -28,11 +28,16 @@ def stack_updates(updates: Sequence[ModelUpdate]) -> np.ndarray:
 
 
 def fedavg(updates: Sequence[ModelUpdate]) -> np.ndarray:
-    """Sample-count weighted average of local models (Eq. 2 of the paper)."""
+    """Sample-count weighted average of local models (Eq. 2 of the paper).
+
+    The weight normalisation runs in float64, but the reduction itself is a
+    single GEMV in the matrix dtype, so float32 update matrices stay
+    float32 end to end.
+    """
     matrix = stack_updates(updates)
     weights = np.array([update.num_samples for update in updates], dtype=np.float64)
     weights = weights / weights.sum()
-    return (weights[:, None] * matrix).sum(axis=0)
+    return np.matmul(weights.astype(matrix.dtype, copy=False), matrix)
 
 
 def unweighted_average(updates: Sequence[ModelUpdate]) -> np.ndarray:

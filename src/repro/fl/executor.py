@@ -9,6 +9,18 @@ the client's RNG *state* rather than the generator object), so the same task
 can be executed in-process, on a thread pool, or in a worker process — and
 produce bit-identical results in all three cases.
 
+Shared-memory broadcast
+-----------------------
+The global parameter vector is *identical* for every task of a round, so
+pickling it into each task wastes ``clients_per_round × nbytes`` of
+serialization per round.  :class:`ParallelExecutor` therefore publishes the
+vector once per round in a :mod:`multiprocessing.shared_memory` segment and
+rewrites the tasks to carry only a :class:`SharedParamsRef` (segment name,
+dtype, length) next to their per-client data shards.  Workers attach the
+segment read-only and copy the parameters straight into their model.  The
+serial and thread backends keep inline arrays — they already share the
+parent's address space, so there is nothing to ship.
+
 Determinism contract
 --------------------
 A client owns one :class:`numpy.random.Generator` that advances across
@@ -17,7 +29,8 @@ serialized state, trains, and ships the *advanced* state back so the owning
 :class:`~repro.fl.client.BenignClient` can resume exactly where a serial run
 would have.  Given the same seed, :class:`SerialExecutor`,
 :class:`ThreadedExecutor` and :class:`ParallelExecutor` therefore yield
-bit-identical :class:`~repro.fl.types.ModelUpdate` sequences.
+bit-identical :class:`~repro.fl.types.ModelUpdate` sequences — the
+shared-memory path ships the same bytes as the inline path.
 
 Picklability
 ------------
@@ -31,10 +44,11 @@ dataclass) when running with processes.  The experiment layer
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -45,6 +59,8 @@ from .types import LocalTrainingConfig
 __all__ = [
     "ClientTask",
     "ClientTaskResult",
+    "SharedParamsRef",
+    "SharedParamsLease",
     "run_client_task",
     "ClientExecutor",
     "SerialExecutor",
@@ -55,13 +71,98 @@ __all__ = [
 ]
 
 
+# ----------------------------------------------------------------------
+# Shared-memory parameter broadcast
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SharedParamsRef:
+    """Handle to a parameter vector published in shared memory (picklable)."""
+
+    name: str
+    dtype: str
+    size: int
+
+
+class SharedParamsLease:
+    """Parent-side owner of one round's shared-memory parameter segment.
+
+    Create it with the round's global parameter vector, hand
+    :attr:`ref` to the tasks, and :meth:`release` after the round's results
+    are in (workers only read the segment while executing their task).
+    """
+
+    def __init__(self, vector: np.ndarray) -> None:
+        from multiprocessing import shared_memory
+
+        vector = np.ascontiguousarray(vector)
+        self._shm = shared_memory.SharedMemory(create=True, size=max(1, vector.nbytes))
+        view = np.ndarray(vector.shape, dtype=vector.dtype, buffer=self._shm.buf)
+        view[:] = vector
+        self.ref = SharedParamsRef(
+            name=self._shm.name, dtype=vector.dtype.str, size=vector.size
+        )
+
+    def release(self) -> None:
+        """Close and unlink the segment (idempotent)."""
+        if self._shm is not None:
+            self._shm.close()
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            self._shm = None
+
+
+#: Worker-process cache of the currently attached segment.  A worker handles
+#: several tasks per round; all of them reference the same segment, so one
+#: attach per (worker, round) suffices.  Stale segments are detached when a
+#: new round publishes under a different name.
+_ATTACHED_SEGMENTS: Dict[str, Tuple[object, np.ndarray]] = {}
+
+
+def _attach_shared_params(ref: SharedParamsRef) -> np.ndarray:
+    """Attach (or reuse) the shared segment and return a read-only view."""
+    cached = _ATTACHED_SEGMENTS.get(ref.name)
+    if cached is not None:
+        return cached[1]
+    from multiprocessing import shared_memory
+
+    # The parent owns the segment's lifetime, so the attaching side must not
+    # register it with the resource tracker (a second registration makes the
+    # tracker double-unlink at shutdown).  CPython 3.13+ supports this
+    # directly via ``track=False``; older versions need the registration
+    # call suppressed for the duration of this one attach.
+    try:
+        shm = shared_memory.SharedMemory(name=ref.name, track=False)
+    except TypeError:  # pragma: no cover - Python < 3.13
+        from multiprocessing import resource_tracker
+
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            shm = shared_memory.SharedMemory(name=ref.name)
+        finally:
+            resource_tracker.register = original_register
+    view = np.ndarray((ref.size,), dtype=np.dtype(ref.dtype), buffer=shm.buf)
+    view.flags.writeable = False
+    for name in list(_ATTACHED_SEGMENTS):
+        old_shm, _ = _ATTACHED_SEGMENTS.pop(name)
+        old_shm.close()
+    _ATTACHED_SEGMENTS[ref.name] = (shm, view)
+    return view
+
+
 @dataclass
 class ClientTask:
-    """One benign client's local-training work for one round (picklable)."""
+    """One benign client's local-training work for one round (picklable).
+
+    Exactly one of ``global_params`` (inline vector, serial/thread backends)
+    and ``params_ref`` (shared-memory handle, process backend) is set.
+    """
 
     client_id: int
     round_number: int
-    global_params: np.ndarray
+    global_params: Optional[np.ndarray]
     images: np.ndarray
     labels: np.ndarray
     num_samples: int
@@ -69,6 +170,15 @@ class ClientTask:
     model_factory: Callable[[], object]
     rng_state: Dict
     """Serialized ``Generator.bit_generator.state`` of the owning client."""
+    params_ref: Optional[SharedParamsRef] = None
+
+    def resolve_global_params(self) -> np.ndarray:
+        """The task's global parameter vector, attaching shared memory if used."""
+        if self.global_params is not None:
+            return self.global_params
+        if self.params_ref is None:
+            raise ValueError("task carries neither inline parameters nor a shm ref")
+        return _attach_shared_params(self.params_ref)
 
 
 @dataclass
@@ -86,7 +196,7 @@ def run_client_task(task: ClientTask) -> ClientTaskResult:
     rng = np.random.default_rng()
     rng.bit_generator.state = task.rng_state
     model = task.model_factory()
-    set_flat_params(model, task.global_params)
+    set_flat_params(model, task.resolve_global_params())
     train_on_arrays(model, task.images, task.labels, task.config, rng)
     return ClientTaskResult(
         client_id=task.client_id,
@@ -105,10 +215,25 @@ class ClientExecutor:
     """Strategy interface: run a batch of client tasks, preserving order."""
 
     name = "base"
+    supports_generic_fanout = False
+    """Whether :meth:`map_fn` actually runs items concurrently.  Consumers
+    with a cheaper serial fast path (REFD's fused scoring loop) only hand
+    work to the executor when this is set."""
 
     def map(self, tasks: Sequence[ClientTask]) -> List[ClientTaskResult]:
         """Run every task and return results in the same order as ``tasks``."""
         raise NotImplementedError
+
+    def map_fn(self, fn: Callable, items: Iterable) -> List:
+        """Generic order-preserving fan-out for non-task work.
+
+        Defense-side per-update work (e.g. REFD scoring) uses this to reuse
+        the round's worker pool.  The base implementation runs serially;
+        :class:`ThreadedExecutor` overlaps numpy-heavy callables on its
+        thread pool.  The process backend inherits the serial behaviour,
+        because arbitrary closures do not pickle.
+        """
+        return [fn(item) for item in items]
 
     def close(self) -> None:
         """Release any pooled workers (idempotent)."""
@@ -138,15 +263,22 @@ class ThreadedExecutor(ClientExecutor):
     """
 
     name = "thread"
+    supports_generic_fanout = True
 
     def __init__(self, workers: Optional[int] = None) -> None:
         self.workers = workers or default_worker_count()
         self._pool: Optional[ThreadPoolExecutor] = None
 
-    def map(self, tasks: Sequence[ClientTask]) -> List[ClientTaskResult]:
+    def _ensure_pool(self) -> ThreadPoolExecutor:
         if self._pool is None:
             self._pool = ThreadPoolExecutor(max_workers=self.workers)
-        return list(self._pool.map(run_client_task, tasks))
+        return self._pool
+
+    def map(self, tasks: Sequence[ClientTask]) -> List[ClientTaskResult]:
+        return list(self._ensure_pool().map(run_client_task, tasks))
+
+    def map_fn(self, fn: Callable, items: Iterable) -> List:
+        return list(self._ensure_pool().map(fn, items))
 
     def close(self) -> None:
         if self._pool is not None:
@@ -160,18 +292,61 @@ class ParallelExecutor(ClientExecutor):
     Requires every task field to pickle (see the module docstring).  The pool
     is created lazily on first use and reused across rounds, so the process
     start-up cost is paid once per simulation rather than once per round.
+
+    When ``use_shared_memory`` is enabled (the default) and a round's tasks
+    all broadcast the same global parameter vector, that vector is published
+    once per round via :class:`SharedParamsLease` instead of being pickled
+    into every task; tasks then carry only the segment name plus their own
+    data shards.  Set it to ``False`` to force inline parameters (e.g. on
+    platforms without POSIX shared memory).
     """
 
     name = "process"
 
-    def __init__(self, workers: Optional[int] = None) -> None:
+    def __init__(
+        self, workers: Optional[int] = None, use_shared_memory: bool = True
+    ) -> None:
         self.workers = workers or default_worker_count()
+        self.use_shared_memory = use_shared_memory
+        self.shm_rounds = 0
+        """Number of rounds dispatched through the shared-memory path."""
         self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _broadcast_vector(self, tasks: Sequence[ClientTask]) -> Optional[np.ndarray]:
+        """The round's common parameter vector, or ``None`` if not shareable."""
+        if not self.use_shared_memory or len(tasks) < 2:
+            return None
+        first = tasks[0].global_params
+        if first is None:
+            return None
+        if all(task.global_params is first for task in tasks[1:]):
+            return first
+        return None
 
     def map(self, tasks: Sequence[ClientTask]) -> List[ClientTaskResult]:
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.workers)
-        return list(self._pool.map(run_client_task, tasks))
+        tasks = list(tasks)
+        vector = self._broadcast_vector(tasks)
+        lease: Optional[SharedParamsLease] = None
+        if vector is not None:
+            try:
+                lease = SharedParamsLease(vector)
+            except (ImportError, OSError):  # pragma: no cover - no POSIX shm
+                lease = None
+        if lease is not None:
+            tasks = [
+                dataclasses.replace(task, global_params=None, params_ref=lease.ref)
+                for task in tasks
+            ]
+        try:
+            results = list(self._pool.map(run_client_task, tasks))
+        finally:
+            if lease is not None:
+                lease.release()
+        if lease is not None:
+            self.shm_rounds += 1
+        return results
 
     def close(self) -> None:
         if self._pool is not None:

@@ -8,7 +8,7 @@ import numpy as np
 
 from ..defenses.base import Defense, NoDefense
 from ..nn.modules import Module
-from ..nn.serialization import get_flat_params, set_flat_params
+from ..nn.serialization import FlatParams, set_flat_params
 from .training import evaluate_model
 from .types import AggregationResult, DefenseContext, ModelUpdate
 
@@ -22,6 +22,11 @@ class Server:
     applies the configured defense to the received updates and keeps the two
     most recent global parameter vectors (the attack's regularizer and some
     defenses reason about ``w(t)`` and ``w(t-1)``).
+
+    The global parameters live in a single contiguous
+    :class:`~repro.nn.serialization.FlatParams` buffer in the model's native
+    dtype (float32), so distribution, aggregation and defense matrices never
+    pay a float64 up-cast.
     """
 
     def __init__(
@@ -31,16 +36,24 @@ class Server:
         expected_num_malicious: int = 2,
         reference_dataset=None,
         seed: int = 0,
+        executor=None,
     ) -> None:
         self.model_factory = model_factory
         self.defense = defense or NoDefense()
         self.expected_num_malicious = expected_num_malicious
         self.reference_dataset = reference_dataset
+        self.executor = executor
         self._rng = np.random.default_rng(seed)
         self.global_model = model_factory()
-        self.global_params = get_flat_params(self.global_model)
+        self.flat_params = FlatParams.from_module(self.global_model)
+        self.param_dtype = self.flat_params.dtype
         self.previous_global_params: Optional[np.ndarray] = None
         self.round_number = 0
+
+    @property
+    def global_params(self) -> np.ndarray:
+        """The current global parameter vector (the FlatParams buffer)."""
+        return self.flat_params.vector
 
     # ------------------------------------------------------------------
     def distribute(self) -> np.ndarray:
@@ -58,11 +71,13 @@ class Server:
             rng=self._rng,
             model_factory=self.model_factory,
             reference_dataset=self.reference_dataset,
+            executor=self.executor,
         )
         result = self.defense.aggregate(list(updates), context)
         self.previous_global_params = self.global_params
-        self.global_params = np.asarray(result.new_params, dtype=np.float64)
-        set_flat_params(self.global_model, self.global_params)
+        new_params = np.asarray(result.new_params, dtype=self.param_dtype).ravel()
+        self.flat_params = self.flat_params.with_vector(new_params)
+        set_flat_params(self.global_model, new_params)
         self.round_number += 1
         return result
 

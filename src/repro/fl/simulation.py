@@ -140,6 +140,7 @@ class FederatedSimulation:
             expected_num_malicious=max(expected_malicious, 1),
             reference_dataset=reference_dataset,
             seed=seed + 17,
+            executor=self.executor,
         )
 
     # ------------------------------------------------------------------

@@ -71,30 +71,58 @@ def train_local_model(
 
 
 def evaluate_model(model: Module, dataset, batch_size: int = 128) -> Tuple[float, float]:
-    """Return ``(accuracy, mean cross-entropy loss)`` of ``model`` on a dataset."""
+    """Return ``(accuracy, mean cross-entropy loss)`` of ``model`` on a dataset.
+
+    Accuracy and loss are accumulated as running sums — no per-batch Python
+    lists are built, and the loss is weighted by batch length exactly once.
+    """
     model.eval()
     loader = DataLoader(dataset, batch_size=batch_size, shuffle=False)
     correct = 0
     total = 0
-    losses: List[float] = []
+    loss_sum = 0.0
     with no_grad():
         for images, labels in loader:
             logits = model(Tensor(images))
-            losses.append(float(F.cross_entropy(logits, labels).item()) * len(labels))
+            loss_sum += float(F.cross_entropy(logits, labels).item()) * len(labels)
             predictions = logits.data.argmax(axis=1)
             correct += int((predictions == labels).sum())
             total += len(labels)
     if total == 0:
         return 0.0, 0.0
-    return correct / total, float(np.sum(losses) / total)
+    return correct / total, loss_sum / total
 
 
-def predict_proba(model: Module, images: np.ndarray, batch_size: int = 256) -> np.ndarray:
-    """Class-probability predictions of ``model`` for a batch of images."""
+def predict_proba(
+    model: Module,
+    images: np.ndarray,
+    batch_size: int = 256,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Class-probability predictions of ``model`` for a batch of images.
+
+    Each batch's probabilities are written straight into one output matrix
+    (preallocated by the caller via ``out``, or allocated once after the
+    first batch reveals the class count) instead of growing a Python list
+    and concatenating at the end.
+    """
     model.eval()
-    outputs: List[np.ndarray] = []
+    num_samples = images.shape[0]
+    if out is not None and (out.ndim != 2 or out.shape[0] != num_samples):
+        raise ValueError(
+            f"out buffer has shape {out.shape}, expected ({num_samples}, num_classes)"
+        )
     with no_grad():
-        for start in range(0, images.shape[0], batch_size):
+        for start in range(0, num_samples, batch_size):
             logits = model(Tensor(images[start : start + batch_size]))
-            outputs.append(F.softmax(logits, axis=-1).data)
-    return np.concatenate(outputs, axis=0)
+            probs = F.softmax(logits, axis=-1).data
+            if out is None:
+                out = np.empty((num_samples, probs.shape[1]), dtype=probs.dtype)
+            elif out.shape[1] != probs.shape[1]:
+                raise ValueError(
+                    f"out buffer has {out.shape[1]} columns, model predicts {probs.shape[1]} classes"
+                )
+            out[start : start + probs.shape[0]] = probs
+    if out is None:
+        out = np.empty((0, 0), dtype=np.float32)
+    return out

@@ -64,7 +64,13 @@ class ModelUpdate:
     is_malicious: bool = False
 
     def __post_init__(self) -> None:
-        self.parameters = np.asarray(self.parameters, dtype=np.float64).ravel()
+        # Keep the native floating dtype: the whole pipeline ships float32
+        # flat buffers, and silently up-casting every update to float64 would
+        # double the bytes of every task, cache entry and defense matrix.
+        parameters = np.asarray(self.parameters)
+        if not np.issubdtype(parameters.dtype, np.floating):
+            parameters = parameters.astype(np.float64)
+        self.parameters = parameters.ravel()
         if self.num_samples <= 0:
             raise ValueError("num_samples must be positive")
 
@@ -96,7 +102,12 @@ class AttackRoundContext:
 
 @dataclass
 class DefenseContext:
-    """Server-side information available to a defense when aggregating."""
+    """Server-side information available to a defense when aggregating.
+
+    ``executor`` is the round's client executor (when the simulation runs
+    one); defenses with per-update work (REFD scoring) may fan out across
+    it via :meth:`~repro.fl.executor.ClientExecutor.map_fn`.
+    """
 
     round_number: int
     global_params: np.ndarray
@@ -104,6 +115,7 @@ class DefenseContext:
     rng: np.random.Generator
     model_factory: Optional[Callable[[], "object"]] = None
     reference_dataset: Optional["object"] = None
+    executor: Optional["object"] = None
 
 
 @dataclass

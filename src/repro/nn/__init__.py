@@ -39,6 +39,7 @@ from .lr_scheduler import CosineAnnealingLR, ExponentialLR, LRScheduler, StepLR
 from .optim import SGD, Adam, Optimizer
 from .recurrent import GRU, Embedding, GRUCell
 from .serialization import (
+    FlatParams,
     clone_state_dict,
     get_flat_params,
     parameter_shapes,
@@ -80,6 +81,7 @@ __all__ = [
     "Embedding",
     "GRUCell",
     "GRU",
+    "FlatParams",
     "get_flat_params",
     "set_flat_params",
     "state_dict_to_vector",

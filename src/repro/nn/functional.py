@@ -36,6 +36,31 @@ __all__ = [
 # ----------------------------------------------------------------------
 # im2col / col2im helpers
 # ----------------------------------------------------------------------
+def _window_view(
+    x: np.ndarray, kernel: Tuple[int, int], stride: int, padding: int
+) -> Tuple[np.ndarray, int, int]:
+    """Zero-copy ``(N, C, out_h, out_w, kh, kw)`` view of all kernel windows.
+
+    Built on :func:`numpy.lib.stride_tricks.sliding_window_view`, so no patch
+    data is copied; only padding (when requested) materialises a new array.
+    """
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    out_h = (h + 2 * padding - kh) // stride + 1
+    out_w = (w + 2 * padding - kw) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"convolution output would be empty for input {x.shape}, "
+            f"kernel {kernel}, stride {stride}, padding {padding}"
+        )
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    windows = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(2, 3))
+    if stride > 1:
+        windows = windows[:, :, ::stride, ::stride]
+    return windows, out_h, out_w
+
+
 def _im2col(
     x: np.ndarray, kernel: Tuple[int, int], stride: int, padding: int
 ) -> Tuple[np.ndarray, int, int]:
@@ -52,24 +77,16 @@ def _im2col(
     -------
     cols, out_h, out_w:
         ``cols`` has shape ``(N, C*kh*kw, out_h*out_w)``.
+
+    The window extraction itself is a zero-copy stride trick; the only copy
+    is the single reshape into the contiguous column matrix that the GEMM
+    consumers need.
     """
-    n, c, h, w = x.shape
+    n, c = x.shape[0], x.shape[1]
     kh, kw = kernel
-    out_h = (h + 2 * padding - kh) // stride + 1
-    out_w = (w + 2 * padding - kw) // stride + 1
-    if out_h <= 0 or out_w <= 0:
-        raise ValueError(
-            f"convolution output would be empty for input {x.shape}, "
-            f"kernel {kernel}, stride {stride}, padding {padding}"
-        )
-    padded = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
-    cols = np.empty((n, c, kh, kw, out_h, out_w), dtype=x.dtype)
-    for i in range(kh):
-        i_end = i + stride * out_h
-        for j in range(kw):
-            j_end = j + stride * out_w
-            cols[:, :, i, j, :, :] = padded[:, :, i:i_end:stride, j:j_end:stride]
-    return cols.reshape(n, c * kh * kw, out_h * out_w), out_h, out_w
+    windows, out_h, out_w = _window_view(x, kernel, stride, padding)
+    cols = windows.transpose(0, 1, 4, 5, 2, 3).reshape(n, c * kh * kw, out_h * out_w)
+    return cols, out_h, out_w
 
 
 def _col2im(
@@ -79,7 +96,11 @@ def _col2im(
     stride: int,
     padding: int,
 ) -> np.ndarray:
-    """Inverse of :func:`_im2col`; overlapping patches are accumulated."""
+    """Inverse of :func:`_im2col`; overlapping patches are accumulated.
+
+    The scatter-add runs over a preallocated padded buffer with one strided
+    accumulation per kernel tap (``kh * kw`` bulk adds, no per-pixel Python).
+    """
     n, c, h, w = input_shape
     kh, kw = kernel
     out_h = (h + 2 * padding - kh) // stride + 1
@@ -143,21 +164,41 @@ def conv2d(
         )
     cols, out_h, out_w = _im2col(x_data, (kh, kw), stride, padding)
     w_mat = w_data.reshape(out_channels, -1)
-    out = np.einsum("of,nfl->nol", w_mat, cols, optimize=True)
+    out = np.matmul(w_mat, cols)  # batched GEMM: (O, F) @ (N, F, L) -> (N, O, L)
     out = out.reshape(x_data.shape[0], out_channels, out_h, out_w)
     if bias is not None:
         out = out + bias.data.reshape(1, out_channels, 1, 1)
 
     input_shape = x_data.shape
+    needs_grad_x = x.requires_grad
+    needs_grad_w = weight.requires_grad
 
     def backward(grad: np.ndarray):
         grad_mat = grad.reshape(grad.shape[0], out_channels, -1)
-        grad_w = np.einsum("nol,nfl->of", grad_mat, cols, optimize=True)
-        grad_w = grad_w.reshape(w_data.shape)
-        grad_cols = np.einsum("of,nol->nfl", w_mat, grad_mat, optimize=True)
-        grad_x = _col2im(grad_cols, input_shape, (kh, kw), stride, padding)
-        grad_b = grad.sum(axis=(0, 2, 3)) if bias is not None else None
+        grad_w = None
+        if needs_grad_w:
+            grad_w = np.matmul(grad_mat, cols.transpose(0, 2, 1)).sum(axis=0)
+            grad_w = grad_w.reshape(w_data.shape)
+        grad_x = None
+        if needs_grad_x:
+            # grad_cols has the same shape as the forward's column buffer.
+            # When the weight is frozen (the DFA synthesis path) nothing ever
+            # reads cols, so grad_cols can reuse its storage — but only then:
+            # a graph may run backward() more than once, and a consumed cols
+            # would silently corrupt the next grad_w.  The reuse also needs a
+            # materialised, dtype-matching buffer (1×1 kernels leave cols as
+            # a read-only stride-trick view of the input).
+            if (
+                not needs_grad_w
+                and cols.flags.writeable
+                and cols.dtype == np.result_type(w_mat, grad_mat)
+            ):
+                grad_cols = np.matmul(w_mat.T, grad_mat, out=cols)
+            else:
+                grad_cols = np.matmul(w_mat.T, grad_mat)
+            grad_x = _col2im(grad_cols, input_shape, (kh, kw), stride, padding)
         if bias is not None:
+            grad_b = grad.sum(axis=(0, 2, 3)) if bias.requires_grad else None
             return (grad_x, grad_w, grad_b)
         return (grad_x, grad_w)
 
@@ -193,19 +234,26 @@ def conv_transpose2d(
 
     w_mat = w_data.reshape(in_channels, out_channels * kh * kw)
     x_mat = x_data.reshape(n, in_channels, h * w)
-    cols = np.einsum("if,nil->nfl", w_mat, x_mat, optimize=True)
+    cols = np.matmul(w_mat.T, x_mat)  # (F, I) @ (N, I, L) -> (N, F, L)
     out = _col2im(cols, (n, out_channels, out_h, out_w), (kh, kw), stride, padding)
     if bias is not None:
         out = out + bias.data.reshape(1, out_channels, 1, 1)
 
+    needs_grad_x = x.requires_grad
+    needs_grad_w = weight.requires_grad
+
     def backward(grad: np.ndarray):
         grad_cols, _, _ = _im2col(grad, (kh, kw), stride, padding)
-        grad_x = np.einsum("if,nfl->nil", w_mat, grad_cols, optimize=True)
-        grad_x = grad_x.reshape(x_data.shape)
-        grad_w = np.einsum("nil,nfl->if", x_mat, grad_cols, optimize=True)
-        grad_w = grad_w.reshape(w_data.shape)
-        grad_b = grad.sum(axis=(0, 2, 3)) if bias is not None else None
+        grad_x = None
+        if needs_grad_x:
+            grad_x = np.matmul(w_mat, grad_cols)
+            grad_x = grad_x.reshape(x_data.shape)
+        grad_w = None
+        if needs_grad_w:
+            grad_w = np.matmul(x_mat, grad_cols.transpose(0, 2, 1)).sum(axis=0)
+            grad_w = grad_w.reshape(w_data.shape)
         if bias is not None:
+            grad_b = grad.sum(axis=(0, 2, 3)) if bias.requires_grad else None
             return (grad_x, grad_w, grad_b)
         return (grad_x, grad_w)
 

@@ -56,7 +56,13 @@ class SGD(Optimizer):
         self._velocity: Dict[int, np.ndarray] = {}
 
     def step(self) -> None:
-        """Apply one update to every parameter that has a gradient."""
+        """Apply one update to every parameter that has a gradient.
+
+        Updates run in place on ``param.data`` (and on the velocity buffers),
+        so no per-parameter arrays are allocated on the hot path.  The
+        operation order matches the out-of-place formulation exactly, keeping
+        training trajectories bit-identical.
+        """
         for param in self.parameters:
             if param.grad is None:
                 continue
@@ -67,10 +73,11 @@ class SGD(Optimizer):
                 velocity = self._velocity.get(id(param))
                 if velocity is None:
                     velocity = np.zeros_like(param.data)
-                velocity = self.momentum * velocity + grad
-                self._velocity[id(param)] = velocity
+                    self._velocity[id(param)] = velocity
+                velocity *= self.momentum
+                velocity += grad
                 grad = velocity
-            param.data = param.data - self.lr * grad
+            param.data -= self.lr * grad
 
 
 class Adam(Optimizer):
@@ -97,7 +104,13 @@ class Adam(Optimizer):
         self._second_moment: Dict[int, np.ndarray] = {}
 
     def step(self) -> None:
-        """Apply one Adam update to every parameter that has a gradient."""
+        """Apply one Adam update to every parameter that has a gradient.
+
+        The moment buffers and ``param.data`` are updated in place with the
+        same operation order as the textbook out-of-place formulation, so
+        trajectories are unchanged while per-step allocations drop to the
+        unavoidable temporaries.
+        """
         self._step_count += 1
         bias_correction1 = 1.0 - self.beta1 ** self._step_count
         bias_correction2 = 1.0 - self.beta2 ** self._step_count
@@ -113,10 +126,12 @@ class Adam(Optimizer):
             if m is None:
                 m = np.zeros_like(param.data)
                 v = np.zeros_like(param.data)
-            m = self.beta1 * m + (1.0 - self.beta1) * grad
-            v = self.beta2 * v + (1.0 - self.beta2) * grad * grad
-            self._first_moment[key] = m
-            self._second_moment[key] = v
+                self._first_moment[key] = m
+                self._second_moment[key] = v
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
             m_hat = m / bias_correction1
             v_hat = v / bias_correction2
-            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

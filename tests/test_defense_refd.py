@@ -5,7 +5,16 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.defenses.refd import Refd, balance_value, confidence_value, d_score
+from repro.defenses.refd import (
+    Refd,
+    balance_value,
+    balance_values,
+    confidence_value,
+    confidence_values,
+    d_score,
+    d_scores,
+)
+from repro.fl.executor import ThreadedExecutor
 from repro.fl.training import train_local_model
 from repro.fl.types import DefenseContext, LocalTrainingConfig, ModelUpdate
 from repro.nn.serialization import get_flat_params, set_flat_params
@@ -52,6 +61,89 @@ class TestScoreComponents:
         high_confidence = d_score(0.1, 0.9, alpha=4.0)
         low_confidence = d_score(0.9, 0.1, alpha=4.0)
         assert high_confidence > low_confidence
+
+
+class TestVectorizedScoreHelpers:
+    """The batched helpers must agree exactly with their scalar counterparts."""
+
+    def test_balance_values_match_scalar(self):
+        counts = np.array([[10, 10, 10], [37, 1, 1], [0, 0, 0], [4, 8, 12]])
+        batched = balance_values(counts)
+        for row, expected in zip(counts, batched):
+            assert balance_value(row) == expected
+
+    def test_confidence_values_match_scalar(self):
+        rng = np.random.default_rng(0)
+        probs = rng.dirichlet(np.ones(5), size=(3, 7))  # (updates, samples, classes)
+        batched = confidence_values(probs.max(axis=2))
+        for matrix, expected in zip(probs, batched):
+            assert confidence_value(matrix) == expected
+
+    def test_d_scores_match_scalar(self):
+        balances = np.array([1.0, 0.5, 0.0, 0.9])
+        confidences = np.array([1.0, 1.0, 0.0, 0.1])
+        for alpha in (0.5, 1.0, 4.0):
+            batched = d_scores(balances, confidences, alpha)
+            for b, c, expected in zip(balances, confidences, batched):
+                assert d_score(b, c, alpha) == expected
+
+
+class TestBatchedScoring:
+    def _updates(self, tiny_task, mlp_factory, count=4):
+        rng = np.random.default_rng(3)
+        params = get_flat_params(mlp_factory())
+        return [
+            ModelUpdate(
+                client_id=i,
+                parameters=params + 0.2 * rng.standard_normal(params.shape).astype(np.float32),
+                num_samples=5,
+            )
+            for i in range(count)
+        ]
+
+    def _context(self, tiny_task, mlp_factory, executor=None):
+        return DefenseContext(
+            round_number=0,
+            global_params=get_flat_params(mlp_factory()),
+            expected_num_malicious=1,
+            rng=np.random.default_rng(0),
+            model_factory=mlp_factory,
+            reference_dataset=tiny_task.test,
+            executor=executor,
+        )
+
+    def test_batched_scores_match_per_update_scoring(self, tiny_task, mlp_factory):
+        defense = Refd(num_rejected=1)
+        context = self._context(tiny_task, mlp_factory)
+        updates = self._updates(tiny_task, mlp_factory)
+        images, _ = tiny_task.test.arrays()
+        batched = defense.score_updates(updates, images, context)
+        for update, report in zip(updates, batched):
+            single = defense.score_update(update, images, context)
+            assert single.client_id == report.client_id
+            assert single.balance == report.balance
+            assert single.confidence == report.confidence
+            assert single.score == report.score
+
+    def test_thread_executor_fanout_matches_serial(self, tiny_task, mlp_factory):
+        defense = Refd(num_rejected=1)
+        updates = self._updates(tiny_task, mlp_factory)
+        images, _ = tiny_task.test.arrays()
+        serial = defense.score_updates(
+            updates, images, self._context(tiny_task, mlp_factory)
+        )
+        with ThreadedExecutor(workers=2) as executor:
+            threaded = defense.score_updates(
+                updates, images, self._context(tiny_task, mlp_factory, executor=executor)
+            )
+        assert [(r.balance, r.confidence, r.score) for r in serial] == [
+            (r.balance, r.confidence, r.score) for r in threaded
+        ]
+
+    def test_score_updates_empty_list(self, tiny_task, mlp_factory):
+        defense = Refd(num_rejected=1)
+        images, _ = tiny_task.test.arrays()
+        assert defense.score_updates([], images, self._context(tiny_task, mlp_factory)) == []
 
 
 class TestRefdValidation:

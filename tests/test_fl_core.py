@@ -38,10 +38,17 @@ class TestLocalTrainingConfig:
 
 
 class TestModelUpdate:
-    def test_flattens_and_casts_parameters(self):
+    def test_flattens_and_preserves_float_dtype(self):
+        # float32 is the pipeline's native transport dtype — no silent up-cast.
         update = ModelUpdate(client_id=1, parameters=np.ones((2, 3), dtype=np.float32), num_samples=5)
         assert update.parameters.shape == (6,)
-        assert update.parameters.dtype == np.float64
+        assert update.parameters.dtype == np.float32
+        double = ModelUpdate(client_id=1, parameters=np.ones(3, dtype=np.float64), num_samples=5)
+        assert double.parameters.dtype == np.float64
+
+    def test_casts_integer_parameters_to_float(self):
+        update = ModelUpdate(client_id=1, parameters=np.arange(4), num_samples=5)
+        assert np.issubdtype(update.parameters.dtype, np.floating)
 
     def test_rejects_nonpositive_samples(self):
         with pytest.raises(ValueError):

@@ -11,6 +11,8 @@ from repro.experiments import build_simulation, smoke_scale
 from repro.fl.executor import (
     ParallelExecutor,
     SerialExecutor,
+    SharedParamsLease,
+    SharedParamsRef,
     ThreadedExecutor,
     build_executor,
     run_client_task,
@@ -93,6 +95,63 @@ class TestTaskPayload:
             clients[1].consume_result(result)
 
 
+class TestSharedMemoryBroadcast:
+    """The per-round shared-memory parameter publication."""
+
+    def test_lease_roundtrips_vector(self):
+        vector = np.arange(64, dtype=np.float32)
+        lease = SharedParamsLease(vector)
+        try:
+            from repro.fl.executor import _attach_shared_params
+
+            view = _attach_shared_params(lease.ref)
+            np.testing.assert_array_equal(view, vector)
+            assert not view.flags.writeable
+        finally:
+            lease.release()
+
+    def test_lease_ref_is_picklable(self):
+        lease = SharedParamsLease(np.ones(8, dtype=np.float32))
+        try:
+            restored = pickle.loads(pickle.dumps(lease.ref))
+            assert restored == lease.ref
+        finally:
+            lease.release()
+
+    def test_release_is_idempotent(self):
+        lease = SharedParamsLease(np.ones(4, dtype=np.float32))
+        lease.release()
+        lease.release()
+
+    def test_task_resolution_prefers_inline_params(self, tiny_task):
+        config = smoke_scale(num_rounds=1)
+        simulation = build_simulation(config)
+        client = next(iter(simulation.benign_clients.values()))
+        task = client.make_task(simulation.server.distribute(), round_number=0)
+        np.testing.assert_array_equal(task.resolve_global_params(), task.global_params)
+
+    def test_task_without_params_or_ref_raises(self, tiny_task):
+        config = smoke_scale(num_rounds=1)
+        simulation = build_simulation(config)
+        client = next(iter(simulation.benign_clients.values()))
+        task = client.make_task(simulation.server.distribute(), round_number=0)
+        task.global_params = None
+        with pytest.raises(ValueError):
+            task.resolve_global_params()
+
+    def test_broadcast_vector_requires_shared_object(self, tiny_task):
+        config = smoke_scale(num_rounds=1)
+        simulation = build_simulation(config)
+        clients = list(simulation.benign_clients.values())[:2]
+        params = simulation.server.distribute()
+        tasks = [client.make_task(params, 0) for client in clients]
+        executor = ParallelExecutor(workers=1)
+        assert executor._broadcast_vector(tasks) is params
+        tasks[1].global_params = params.copy()  # equal values, different object
+        assert executor._broadcast_vector(tasks) is None
+        assert ParallelExecutor(workers=1, use_shared_memory=False)._broadcast_vector(tasks) is None
+
+
 class TestDeterminism:
     """Same seed ⇒ bit-identical records and parameters across backends."""
 
@@ -108,9 +167,20 @@ class TestDeterminism:
         np.testing.assert_array_equal(serial.final_params, threaded.final_params)
 
     @pytest.mark.slow
-    def test_process_pool_matches_serial(self):
+    def test_process_pool_matches_serial_via_shared_memory(self):
         serial = _run_with(None)
-        parallel = _run_with(ParallelExecutor(workers=4))
+        executor = ParallelExecutor(workers=4)
+        parallel = _run_with(executor)
+        assert executor.shm_rounds > 0  # the shm fast path actually ran
+        assert _records_signature(serial) == _records_signature(parallel)
+        np.testing.assert_array_equal(serial.final_params, parallel.final_params)
+
+    @pytest.mark.slow
+    def test_process_pool_matches_serial_with_inline_params(self):
+        serial = _run_with(None)
+        executor = ParallelExecutor(workers=4, use_shared_memory=False)
+        parallel = _run_with(executor)
+        assert executor.shm_rounds == 0
         assert _records_signature(serial) == _records_signature(parallel)
         np.testing.assert_array_equal(serial.final_params, parallel.final_params)
 

@@ -33,6 +33,171 @@ class TestShapeArithmetic:
             assert down == size
 
 
+def _naive_im2col(x, kernel, stride, padding):
+    """Nested-loop reference for the stride-trick ``_im2col``."""
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    out_h = (h + 2 * padding - kh) // stride + 1
+    out_w = (w + 2 * padding - kw) // stride + 1
+    padded = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    cols = np.zeros((n, c, kh, kw, out_h, out_w), dtype=x.dtype)
+    for b in range(n):
+        for ch in range(c):
+            for i in range(kh):
+                for j in range(kw):
+                    for oy in range(out_h):
+                        for ox in range(out_w):
+                            cols[b, ch, i, j, oy, ox] = padded[
+                                b, ch, oy * stride + i, ox * stride + j
+                            ]
+    return cols.reshape(n, c * kh * kw, out_h * out_w), out_h, out_w
+
+
+def _naive_col2im(cols, input_shape, kernel, stride, padding):
+    """Nested-loop scatter-add reference for ``_col2im``."""
+    n, c, h, w = input_shape
+    kh, kw = kernel
+    out_h = (h + 2 * padding - kh) // stride + 1
+    out_w = (w + 2 * padding - kw) // stride + 1
+    cols = cols.reshape(n, c, kh, kw, out_h, out_w)
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    for b in range(n):
+        for ch in range(c):
+            for i in range(kh):
+                for j in range(kw):
+                    for oy in range(out_h):
+                        for ox in range(out_w):
+                            padded[b, ch, oy * stride + i, ox * stride + j] += cols[
+                                b, ch, i, j, oy, ox
+                            ]
+    if padding == 0:
+        return padded
+    return padded[:, :, padding:-padding, padding:-padding]
+
+
+GEOMETRIES = [
+    # (kernel, stride, padding) combinations covering every conv in the repo's
+    # models plus non-square kernels and kernel-sized strides.
+    ((3, 3), 1, 0),
+    ((3, 3), 1, 1),
+    ((3, 3), 2, 1),
+    ((4, 4), 2, 1),
+    ((5, 5), 1, 2),
+    ((2, 3), 1, 0),
+    ((2, 2), 2, 0),
+    ((1, 1), 1, 0),
+    ((3, 3), 3, 1),
+]
+
+
+class TestIm2colGoldenValues:
+    """The stride-trick im2col/col2im must match the naive nested-loop kernels."""
+
+    @pytest.mark.parametrize("kernel,stride,padding", GEOMETRIES)
+    def test_im2col_matches_naive(self, kernel, stride, padding, rng):
+        x = rng.standard_normal((2, 3, 9, 8))
+        cols, out_h, out_w = F._im2col(x, kernel, stride, padding)
+        naive_cols, naive_h, naive_w = _naive_im2col(x, kernel, stride, padding)
+        assert (out_h, out_w) == (naive_h, naive_w)
+        np.testing.assert_array_equal(cols, naive_cols)
+
+    @pytest.mark.parametrize("kernel,stride,padding", GEOMETRIES)
+    def test_col2im_matches_naive(self, kernel, stride, padding, rng):
+        input_shape = (2, 3, 9, 8)
+        _, out_h, out_w = F._im2col(np.zeros(input_shape), kernel, stride, padding)
+        kh, kw = kernel
+        cols = rng.standard_normal((2, 3 * kh * kw, out_h * out_w))
+        np.testing.assert_allclose(
+            F._col2im(cols, input_shape, kernel, stride, padding),
+            _naive_col2im(cols, input_shape, kernel, stride, padding),
+            atol=1e-12,
+        )
+
+    @pytest.mark.parametrize("kernel,stride,padding", GEOMETRIES)
+    def test_col2im_is_adjoint_of_im2col(self, kernel, stride, padding, rng):
+        # <col2im(g), x> == <g, im2col(x)> — the defining property of the
+        # convolution backward pass.
+        input_shape = (2, 2, 9, 8)
+        x = rng.standard_normal(input_shape)
+        cols, out_h, out_w = F._im2col(x, kernel, stride, padding)
+        g = rng.standard_normal(cols.shape)
+        lhs = float((F._col2im(g, input_shape, kernel, stride, padding) * x).sum())
+        rhs = float((g * cols).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-9)
+
+    def test_im2col_preserves_dtype(self, rng):
+        x = rng.standard_normal((1, 1, 6, 6)).astype(np.float32)
+        cols, _, _ = F._im2col(x, (3, 3), 1, 1)
+        assert cols.dtype == np.float32
+
+    def test_window_view_is_zero_copy_without_padding(self, rng):
+        x = rng.standard_normal((1, 2, 6, 6))
+        windows, out_h, out_w = F._window_view(x, (3, 3), 1, 0)
+        assert (out_h, out_w) == (4, 4)
+        assert windows.base is not None  # a view, not a copy
+        x[0, 0, 0, 0] = 123.0
+        assert windows[0, 0, 0, 0, 0, 0] == 123.0
+
+
+class TestConvGradientSkipping:
+    """Backward closures must not spend work on gradients nobody needs."""
+
+    def test_conv2d_frozen_weight_gets_no_grad(self, rng):
+        x = Tensor(rng.standard_normal((2, 2, 6, 6)), requires_grad=True)
+        w = Tensor(rng.standard_normal((3, 2, 3, 3)), requires_grad=False)
+        F.conv2d(x, w, padding=1).sum().backward()
+        assert x.grad is not None
+        assert w.grad is None
+
+    def test_conv2d_input_layer_matches_full_backward(self, rng):
+        # grad_w must be identical whether or not grad_x is also computed.
+        x_data = rng.standard_normal((2, 2, 6, 6))
+        w_data = rng.standard_normal((3, 2, 3, 3))
+        w_only = Tensor(w_data.copy(), requires_grad=True)
+        F.conv2d(Tensor(x_data), w_only, stride=2, padding=1).sum().backward()
+        x_full = Tensor(x_data.copy(), requires_grad=True)
+        w_full = Tensor(w_data.copy(), requires_grad=True)
+        F.conv2d(x_full, w_full, stride=2, padding=1).sum().backward()
+        np.testing.assert_array_equal(w_only.grad, w_full.grad)
+
+    def test_conv2d_1x1_kernel_gradients(self, rng):
+        # 1×1 kernels make the im2col reshape view-compatible: the column
+        # buffer is a read-only stride-trick view of the input, so the
+        # backward must not try to reuse it as scratch storage.
+        x = Tensor(rng.standard_normal((2, 3, 5, 5)), requires_grad=True)
+        w = Tensor(rng.standard_normal((4, 3, 1, 1)), requires_grad=True)
+        snapshot = x.data.copy()
+        out = F.conv2d(x, w)
+        (out * out).sum().backward()
+        np.testing.assert_array_equal(x.data, snapshot)  # input not clobbered
+
+        def value():
+            return float((F.conv2d(Tensor(x.data), Tensor(w.data)).data ** 2).sum())
+
+        np.testing.assert_allclose(numerical_gradient(value, x.data), x.grad, atol=1e-5)
+        np.testing.assert_allclose(numerical_gradient(value, w.data), w.grad, atol=1e-5)
+
+    def test_conv_transpose2d_frozen_weight_gets_no_grad(self, rng):
+        x = Tensor(rng.standard_normal((2, 3, 4, 4)), requires_grad=True)
+        w = Tensor(rng.standard_normal((3, 2, 4, 4)), requires_grad=False)
+        F.conv_transpose2d(x, w, stride=2, padding=1).sum().backward()
+        assert x.grad is not None
+        assert w.grad is None
+
+    def test_conv2d_repeated_backward_keeps_grads_correct(self, rng):
+        # The column-buffer reuse must never clobber data a later backward
+        # pass still needs: two backward() calls accumulate exactly 2x the
+        # single-pass gradients.
+        x = Tensor(rng.standard_normal((2, 2, 6, 6)), requires_grad=True)
+        w = Tensor(rng.standard_normal((3, 2, 3, 3)), requires_grad=True)
+        out = F.conv2d(x, w, padding=1)
+        out.sum().backward()
+        first_x, first_w = x.grad.copy(), w.grad.copy()
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, 2 * first_x, rtol=1e-7)
+        np.testing.assert_allclose(w.grad, 2 * first_w, rtol=1e-7)
+
+
 class TestLinear:
     def test_linear_matches_manual(self, rng):
         x = Tensor(rng.standard_normal((5, 3)))

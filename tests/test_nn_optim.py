@@ -83,6 +83,100 @@ class TestSgdMath:
         assert abs(param.data[0]) < 1e-4
 
 
+def _reference_sgd_step(params, grads, state, lr, momentum, weight_decay):
+    """Textbook out-of-place SGD step (the pre-in-place formulation)."""
+    new_params = []
+    for index, (param, grad) in enumerate(zip(params, grads)):
+        if weight_decay:
+            grad = grad + weight_decay * param
+        if momentum:
+            velocity = state.setdefault(index, np.zeros_like(param))
+            velocity = momentum * velocity + grad
+            state[index] = velocity
+            grad = velocity
+        new_params.append(param - lr * grad)
+    return new_params
+
+
+def _reference_adam_step(params, grads, state, lr, beta1, beta2, eps, weight_decay):
+    """Textbook out-of-place Adam step (the pre-in-place formulation)."""
+    state["t"] = state.get("t", 0) + 1
+    bc1 = 1.0 - beta1 ** state["t"]
+    bc2 = 1.0 - beta2 ** state["t"]
+    new_params = []
+    for index, (param, grad) in enumerate(zip(params, grads)):
+        if weight_decay:
+            grad = grad + weight_decay * param
+        m = state.setdefault(("m", index), np.zeros_like(param))
+        v = state.setdefault(("v", index), np.zeros_like(param))
+        m = beta1 * m + (1.0 - beta1) * grad
+        v = beta2 * v + (1.0 - beta2) * grad * grad
+        state[("m", index)] = m
+        state[("v", index)] = v
+        new_params.append(param - lr * (m / bc1) / (np.sqrt(v / bc2) + eps))
+    return new_params
+
+
+class TestInPlaceTrajectories:
+    """The in-place optimizers must track the out-of-place reference exactly."""
+
+    def _grad_stream(self, shapes, steps, seed=0):
+        rng = np.random.default_rng(seed)
+        return [[rng.standard_normal(shape) for shape in shapes] for _ in range(steps)]
+
+    @pytest.mark.parametrize("momentum,weight_decay", [(0.0, 0.0), (0.9, 0.0), (0.9, 0.01)])
+    def test_sgd_trajectory_unchanged(self, momentum, weight_decay):
+        shapes = [(4, 3), (3,)]
+        rng = np.random.default_rng(7)
+        initial = [rng.standard_normal(shape) for shape in shapes]
+        params = [Parameter(value.copy()) for value in initial]
+        opt = SGD(params, lr=0.05, momentum=momentum, weight_decay=weight_decay)
+        reference = [value.copy() for value in initial]
+        state = {}
+        for grads in self._grad_stream(shapes, steps=12):
+            for param, grad in zip(params, grads):
+                param.grad = grad.copy()
+            opt.step()
+            reference = _reference_sgd_step(
+                reference, grads, state, 0.05, momentum, weight_decay
+            )
+        for param, expected in zip(params, reference):
+            np.testing.assert_array_equal(param.data, expected)
+
+    @pytest.mark.parametrize("weight_decay", [0.0, 0.01])
+    def test_adam_trajectory_unchanged(self, weight_decay):
+        shapes = [(5, 2), (2,)]
+        rng = np.random.default_rng(11)
+        initial = [rng.standard_normal(shape) for shape in shapes]
+        params = [Parameter(value.copy()) for value in initial]
+        opt = Adam(params, lr=0.01, weight_decay=weight_decay)
+        reference = [value.copy() for value in initial]
+        state = {}
+        for grads in self._grad_stream(shapes, steps=12, seed=3):
+            for param, grad in zip(params, grads):
+                param.grad = grad.copy()
+            opt.step()
+            reference = _reference_adam_step(
+                reference, grads, state, 0.01, 0.9, 0.999, 1e-8, weight_decay
+            )
+        for param, expected in zip(params, reference):
+            np.testing.assert_array_equal(param.data, expected)
+
+    def test_sgd_step_does_not_mutate_the_gradient(self):
+        param = _single_param(np.array([1.0, 2.0]))
+        grad = np.array([0.5, -0.5])
+        param.grad = grad
+        SGD([param], lr=0.1, momentum=0.9).step()
+        np.testing.assert_array_equal(grad, [0.5, -0.5])
+
+    def test_adam_step_does_not_mutate_the_gradient(self):
+        param = _single_param(np.array([1.0, 2.0]))
+        grad = np.array([0.5, -0.5])
+        param.grad = grad
+        Adam([param], lr=0.1).step()
+        np.testing.assert_array_equal(grad, [0.5, -0.5])
+
+
 class TestAdam:
     def test_first_step_moves_by_about_lr(self):
         param = _single_param(np.array([1.0]))

@@ -8,6 +8,7 @@ import pytest
 from repro import nn
 from repro.models import SmallCNN
 from repro.nn.serialization import (
+    FlatParams,
     get_flat_params,
     parameter_shapes,
     set_flat_params,
@@ -63,6 +64,85 @@ class TestFlatParams:
         shapes = parameter_shapes(model)
         for name, param in model.named_parameters():
             assert shapes[name] == param.data.shape
+
+
+class TestDtypePolicy:
+    """Flat vectors keep the native float32 dtype; float64 is an explicit opt-in."""
+
+    def test_get_flat_params_defaults_to_native_float32(self):
+        assert get_flat_params(_make_model()).dtype == np.float32
+
+    def test_get_flat_params_float64_opt_in(self):
+        model = _make_model()
+        vector = get_flat_params(model, dtype=np.float64)
+        assert vector.dtype == np.float64
+        np.testing.assert_allclose(vector, get_flat_params(model), atol=1e-7)
+
+    def test_state_dict_to_vector_keeps_native_dtype(self):
+        model = _make_model()
+        assert state_dict_to_vector(model.state_dict(), model).dtype == np.float32
+
+    def test_vector_to_state_dict_casts_to_parameter_dtype(self):
+        model = _make_model()
+        state = vector_to_state_dict(np.zeros(model.num_parameters(), dtype=np.float64), model)
+        assert all(value.dtype == np.float32 for value in state.values())
+
+    def test_flat_buffer_is_contiguous(self):
+        vector = get_flat_params(_make_model())
+        assert vector.flags["C_CONTIGUOUS"]
+
+
+class TestFlatParamsView:
+    def test_named_slices_are_views(self):
+        model = _make_model()
+        flat = FlatParams.from_module(model)
+        name, param = next(model.named_parameters())
+        np.testing.assert_array_equal(flat[name], param.data)
+        flat[name][...] = 7.0
+        assert np.all(flat.vector[: param.data.size] == 7.0)  # same buffer
+
+    def test_names_follow_parameter_order(self):
+        model = _make_model()
+        flat = FlatParams.from_module(model)
+        assert flat.names() == [name for name, _ in model.named_parameters()]
+
+    def test_roundtrip_through_module(self):
+        source, target = _make_model(0), _make_model(9)
+        flat = FlatParams.from_module(source)
+        flat.write_to(target)
+        np.testing.assert_array_equal(get_flat_params(target), flat.vector)
+
+    def test_from_vector_validates_size(self):
+        model = _make_model()
+        with pytest.raises(ValueError):
+            FlatParams.from_vector(np.zeros(3), model)
+
+    def test_with_vector_reuses_layout(self):
+        model = _make_model()
+        flat = FlatParams.from_module(model)
+        other = flat.with_vector(np.zeros_like(flat.vector))
+        assert other.names() == flat.names()
+        with pytest.raises(ValueError):
+            flat.with_vector(np.zeros(3))
+
+    def test_to_state_dict_matches_module_state(self):
+        model = _make_model(4)
+        flat = FlatParams.from_module(model)
+        state = flat.to_state_dict()
+        for name, param in model.named_parameters():
+            np.testing.assert_array_equal(state[name], param.data)
+
+    def test_copy_is_deep(self):
+        flat = FlatParams.from_module(_make_model())
+        clone = flat.copy()
+        clone.vector[:] = 0.0
+        assert not np.all(flat.vector == 0.0)
+
+    def test_nbytes_halved_vs_float64(self):
+        model = _make_model()
+        assert FlatParams.from_module(model).nbytes * 2 == (
+            FlatParams.from_module(model, dtype=np.float64).nbytes
+        )
 
 
 class TestStateDictVector:
