@@ -28,8 +28,10 @@ every gradient required — the mid-layer profile.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import os
+import pickle
 import platform
 import sys
 import time
@@ -39,8 +41,14 @@ import numpy as np
 
 from repro.defenses import Refd
 from repro.experiments import benchmark_scale, build_simulation
-from repro.fl.executor import ParallelExecutor
+from repro.fl.executor import (
+    ParallelExecutor,
+    ShardRef,
+    SharedArrayStore,
+    SharedParamsLease,
+)
 from repro.fl.training import predict_proba
+from repro.models import ClassifierFactory
 from repro.fl.types import DefenseContext, ModelUpdate
 from repro.models import CifarCNN, SmallCNN
 from repro.nn import functional as F
@@ -67,6 +75,14 @@ CHECK_THRESHOLDS = {
     "flat_roundtrip": 1.2,
     "refd_scoring": 1.0,
     "round_dispatch_shm": 0.7,
+    # Shrink factor of a dispatched process-backend task payload once the
+    # shard store carries the image/label arrays (deterministic, not timing).
+    "shard_broadcast": 4.0,
+    # Sanity bound, not a speedup claim: REFD process fan-out must not be
+    # pathologically slower than the fused serial loop even on the 1-2 core
+    # CI runners where dispatch overhead dominates; multi-core machines see
+    # > 1x.
+    "refd_fanout": 0.25,
     "e2e_round": 1.2,
 }
 
@@ -340,7 +356,12 @@ def _e2e_config(num_rounds: int = 4):
 
 
 def bench_round_dispatch(repeats: int) -> Dict[str, float]:
-    """Process-pool round dispatch: shared-memory broadcast vs inline pickling."""
+    """Process-pool round dispatch: shared-memory broadcast vs inline pickling.
+
+    The shm leg exercises the full shared-memory data plane — per-round
+    parameter lease, once-per-simulation shard store, and REFD reference
+    publication — against a fully inline dispatch.
+    """
     config = _e2e_config()
     results: Dict[str, float] = {}
     for label, use_shm in (("inline", False), ("shm", True)):
@@ -350,8 +371,114 @@ def bench_round_dispatch(repeats: int) -> Dict[str, float]:
             results[f"{label}_s"] = _best_of(simulation.run_round, max(2, repeats // 8))
             if use_shm:
                 results["shm_rounds"] = executor.shm_rounds
+                results["shard_rounds"] = executor.shard_rounds
     results["speedup"] = results["inline_s"] / results["shm_s"]
     return results
+
+
+def bench_shard_broadcast() -> Dict[str, float]:
+    """Dispatched task payload with the shard store vs inline arrays.
+
+    Measures the bytes a process worker receives per task *as dispatched* —
+    parameters rewritten to a :class:`SharedParamsLease` ref exactly like
+    ``ParallelExecutor.map`` does — with the client's image/label shard
+    carried (a) inline, pickled every round, and (b) as a
+    :class:`ShardRef` into the once-per-simulation shard store.  The shrink
+    factor is deterministic, so it doubles as the CI regression check for
+    the zero-copy task payload.
+    """
+    config = _e2e_config()
+    results: Dict[str, float] = {}
+    for label, use_shm in (("inline", False), ("shm", True)):
+        executor = ParallelExecutor(workers=2, use_shared_memory=use_shm)
+        with build_simulation(config, executor=executor) as simulation:
+            client = next(iter(simulation.benign_clients.values()))
+            params = simulation.server.distribute()
+            task = client.make_task(params, 0)
+            if use_shm:
+                with SharedParamsLease(params) as lease:
+                    task = dataclasses.replace(
+                        task, global_params=None, params_ref=lease.ref
+                    )
+                    results[f"task_nbytes_{label}"] = len(pickle.dumps(task))
+            else:
+                results[f"task_nbytes_{label}"] = len(pickle.dumps(task))
+            results[f"shard_nbytes_{label}"] = sum(
+                array.nbytes for array in client.dataset.arrays()
+            )
+        executor.close()
+    results["speedup"] = results["task_nbytes_inline"] / results["task_nbytes_shm"]
+    return results
+
+
+def bench_refd_fanout(repeats: int) -> Dict[str, float]:
+    """REFD D-score scoring: fused serial loop vs process-pool registry fan-out.
+
+    The process leg is the production path of a process-backend round: the
+    per-update inference ships as registered ``FanoutCall`` envelopes whose
+    reference images live in a shared-memory segment, so each work item
+    pickles one parameter vector.  Scores must agree bitwise with the
+    serial loop.  On 1-2 cores the dispatch overhead dominates (see the
+    generous ``refd_fanout`` threshold); the point of the metric is to
+    track that overhead and show the multi-core win where there is one.
+    """
+    factory = ClassifierFactory(
+        architecture="small-cnn", in_channels=1, image_size=16, num_classes=10, seed=5
+    )
+    rng = np.random.default_rng(0)
+    base = get_flat_params(factory())
+    updates = [
+        ModelUpdate(
+            client_id=i,
+            parameters=base + 0.1 * rng.standard_normal(base.shape).astype(np.float32),
+            num_samples=40,
+        )
+        for i in range(8)
+    ]
+    images = rng.standard_normal((160, 1, 16, 16)).astype(np.float32)
+    labels = rng.integers(0, 10, size=160).astype(np.int64)
+    defense = Refd(num_rejected=2)
+
+    def context(executor=None, reference_ref=None):
+        return DefenseContext(
+            round_number=0,
+            global_params=base,
+            expected_num_malicious=2,
+            rng=np.random.default_rng(0),
+            model_factory=factory,
+            executor=executor,
+            reference_ref=reference_ref,
+        )
+
+    serial_context = context()
+    with SharedArrayStore({"reference/images": images, "reference/labels": labels}) as store:
+        reference_ref = ShardRef(
+            images=store.refs["reference/images"], labels=store.refs["reference/labels"]
+        )
+        with ParallelExecutor(workers=2) as executor:
+            process_context = context(executor=executor, reference_ref=reference_ref)
+            serial_scores = [
+                r.score for r in defense.score_updates(updates, images, serial_context)
+            ]
+            process_scores = [
+                r.score for r in defense.score_updates(updates, images, process_context)
+            ]
+            np.testing.assert_array_equal(serial_scores, process_scores)
+            repeats = max(3, repeats // 5)
+            serial = _best_of(
+                lambda: defense.score_updates(updates, images, serial_context), repeats
+            )
+            process = _best_of(
+                lambda: defense.score_updates(updates, images, process_context), repeats
+            )
+            fanout_calls = executor.fanout_calls
+    return {
+        "serial_s": serial,
+        "process_s": process,
+        "speedup": serial / process,
+        "fanout_calls": fanout_calls,
+        "workers": 2,
+    }
 
 
 def _legacy_sgd_step(self):
@@ -467,6 +594,8 @@ def run_suite(repeats: int = 25, include_dispatch: bool = True, include_e2e: boo
     results["refd_scoring"] = bench_refd_scoring(max(3, repeats // 5))
     if include_dispatch:
         results["round_dispatch"] = bench_round_dispatch(repeats)
+        results["shard_broadcast"] = bench_shard_broadcast()
+        results["refd_fanout"] = bench_refd_fanout(repeats)
     if include_e2e:
         results["e2e_round"] = bench_e2e_round(repeats)
     return results
@@ -484,6 +613,9 @@ def _aggregate_speedups(results) -> Dict[str, float]:
             headline[metric] = float(results[metric]["speedup"])
     if "round_dispatch" in results:
         headline["round_dispatch_shm"] = float(results["round_dispatch"]["speedup"])
+    for metric in ("shard_broadcast", "refd_fanout"):
+        if metric in results:
+            headline[metric] = float(results[metric]["speedup"])
     if "e2e_round" in results:
         headline["e2e_round"] = float(results["e2e_round"]["speedup"])
     return headline
@@ -530,6 +662,26 @@ def render_table(results, headline) -> str:
                 "round_dispatch(shm vs inline)",
                 f"{numbers['inline_s'] * 1e6:.0f}",
                 f"{numbers['shm_s'] * 1e6:.0f}",
+                f"{numbers['speedup']:.2f}x",
+            ]
+        )
+    if "shard_broadcast" in results:
+        numbers = results["shard_broadcast"]
+        rows.append(
+            [
+                "shard_broadcast(task bytes)",
+                f"{numbers['task_nbytes_inline']:.0f}",
+                f"{numbers['task_nbytes_shm']:.0f}",
+                f"{numbers['speedup']:.2f}x",
+            ]
+        )
+    if "refd_fanout" in results:
+        numbers = results["refd_fanout"]
+        rows.append(
+            [
+                "refd_fanout(serial vs process)",
+                f"{numbers['serial_s'] * 1e6:.0f}",
+                f"{numbers['process_s'] * 1e6:.0f}",
                 f"{numbers['speedup']:.2f}x",
             ]
         )

@@ -12,12 +12,13 @@ when facing low-confidence attacks (DFA-R, Fang).
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import List, Sequence
 
 import numpy as np
 
 from ..fl.types import AggregationResult, DefenseContext, ModelUpdate
-from .refd import DScoreReport, Refd, d_scores
+from .refd import Refd, d_scores
 
 __all__ = ["AdaptiveRefd"]
 
@@ -85,9 +86,12 @@ class AdaptiveRefd(Refd):
     ) -> AggregationResult:
         self._validate(updates)
         images, _ = self._reference_arrays(context)
-        # One batched inference pass observes the statistics.  The balance and
-        # confidence values do not depend on α, so after adapting it only the
-        # D-scores need recomputing — no second pass over the reference set.
+        # One batched inference pass observes the statistics — on a pooled
+        # round executor it fans out per update exactly like plain REFD
+        # (process pools run the registered ``evaluate_update`` envelopes).
+        # The balance and confidence values do not depend on α, so after
+        # adapting it only the D-scores need recomputing — no second pass
+        # over the reference set.
         updates = list(updates)
         reports = self.score_updates(updates, images, context)
         balances = np.array([report.balance for report in reports])
@@ -95,12 +99,7 @@ class AdaptiveRefd(Refd):
         self._adapt_alpha(balances, confidences)
         scores = d_scores(balances, confidences, self.alpha)
         reports = [
-            DScoreReport(
-                client_id=report.client_id,
-                balance=report.balance,
-                confidence=report.confidence,
-                score=float(scores[index]),
-            )
-            for index, report in enumerate(reports)
+            replace(report, score=float(score))
+            for report, score in zip(reports, scores)
         ]
         return self._filter_and_aggregate(updates, reports)

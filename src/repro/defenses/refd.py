@@ -17,9 +17,15 @@ updates with the lowest D-scores are removed before FedAvg aggregation.
 Scoring is *batched*: one fused loop drives all candidate models through the
 reference set, reusing a single model instance and one preallocated
 probability buffer, and the balance/confidence/D-score statistics are then
-computed vectorized over the update axis.  When the round runs on a
-thread-pool executor, the per-update inference optionally fans out across
-it (see :meth:`Refd.score_updates`).
+computed vectorized over the update axis.  When the round runs on a pooled
+executor, the per-update inference fans out across it instead:
+:func:`evaluate_update` is registered in the executor's named fan-out
+registry (:data:`EVALUATE_UPDATE_FANOUT`), so thread pools call it directly
+and *process* pools ship picklable envelopes — with the reference images
+read from the simulation's shared-memory shard store rather than pickled
+per update (see :meth:`Refd.score_updates`).  :class:`AdaptiveRefd` rides
+the same path: it scores through :meth:`Refd.score_updates` and only
+recombines the observed statistics after adapting α.
 """
 
 from __future__ import annotations
@@ -30,6 +36,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..fl.aggregation import fedavg
+from ..fl.executor import SharedArrayRef, register_fanout_fn, resolve_shared_array
 from ..fl.types import AggregationResult, DefenseContext, ModelUpdate
 from ..nn.serialization import set_flat_params
 from .base import Defense
@@ -39,18 +46,43 @@ __all__ = [
     "DScoreReport",
     "balance_value",
     "balance_values",
+    "max_balance_value",
     "confidence_value",
     "confidence_values",
     "d_score",
     "d_scores",
+    "evaluate_update",
+    "EVALUATE_UPDATE_FANOUT",
 ]
 
 
+def max_balance_value(num_classes: int) -> float:
+    """Supremum of the *finite* balance values attainable over ``num_classes``.
+
+    Integer prediction histograms that are not perfectly balanced deviate
+    from their mean by at least ``(+1, -1, 0, …)`` (the deviations sum to
+    zero), so their std is at least ``sqrt(2 / C)`` and their balance value
+    ``1/std`` at most ``sqrt(C / 2)``.  A zero-std (perfectly balanced)
+    histogram is mapped to exactly this bound, which keeps Eq. 6's ranking
+    intact: perfect balance can never score *below* any imbalanced
+    histogram.
+    """
+    return float(np.sqrt(num_classes / 2.0))
+
+
 def balance_values(class_counts: np.ndarray) -> np.ndarray:
-    """Balance values ``B_i`` (Eq. 6) for a ``(num_updates, num_classes)`` batch."""
+    """Balance values ``B_i`` (Eq. 6) for a ``(num_updates, num_classes)`` batch.
+
+    The inverse std diverges as the histogram approaches perfect balance,
+    so the zero-std case is mapped to :func:`max_balance_value` — the
+    supremum of the finite values — rather than an arbitrary sentinel.
+    (An earlier revision used ``1.0``, which ranked perfectly balanced
+    updates *below* mildly imbalanced ones with ``std < 1`` and could flip
+    which clients REFD rejects.)
+    """
     class_counts = np.asarray(class_counts, dtype=np.float64)
     stds = class_counts.std(axis=-1)
-    balances = np.ones_like(stds)
+    balances = np.full_like(stds, max_balance_value(class_counts.shape[-1]))
     nonzero = stds != 0.0
     balances[nonzero] = 1.0 / stds[nonzero]
     return balances
@@ -103,6 +135,35 @@ class DScoreReport:
     balance: float
     confidence: float
     score: float
+
+
+#: Registered fan-out name of :func:`evaluate_update`; the ``module:label``
+#: form lets worker processes resolve it by importing this module on demand.
+EVALUATE_UPDATE_FANOUT = "repro.defenses.refd:evaluate_update"
+
+
+def evaluate_update(payload) -> Tuple[np.ndarray, np.ndarray, int]:
+    """One update's reference-set inference, as a registered fan-out unit.
+
+    ``payload`` is ``(model_factory, parameters, images)``, every element
+    picklable; ``images`` is either an inline array or a
+    :class:`~repro.fl.executor.SharedArrayRef` into the simulation's shard
+    store, so process-pool fan-out ships only the update's parameter vector
+    per work item.  Returns ``(argmax, max_prob, num_classes)`` over the
+    reference samples.
+    """
+    from ..fl.training import predict_proba  # local import to avoid cycles
+
+    model_factory, parameters, images = payload
+    if isinstance(images, SharedArrayRef):
+        images = resolve_shared_array(images)
+    model = model_factory()
+    set_flat_params(model, parameters)
+    probs = predict_proba(model, images)
+    return probs.argmax(axis=1), probs.max(axis=1), probs.shape[1]
+
+
+register_fanout_fn(EVALUATE_UPDATE_FANOUT, evaluate_update)
 
 
 class Refd(Defense):
@@ -167,25 +228,45 @@ class Refd(Defense):
         is the ``(num_updates, num_samples)`` argmax matrix and ``max_probs``
         the matching maximum-probability matrix.  One model instance and one
         probability buffer are reused across all updates; when the round
-        executor advertises generic fan-out (thread pool), the per-update
-        inference runs through it instead.
+        executor advertises generic fan-out, the per-update inference runs
+        through :func:`evaluate_update` on its pool instead — threads call
+        it directly, the process backend ships registry envelopes whose
+        ``images`` element is the shared-memory reference ref when the
+        simulation published one (``context.reference_ref``, used only when
+        its shape matches ``images``, i.e. no ``max_reference_samples``
+        truncation happened), so each work item pickles just one parameter
+        vector.  A backend whose fan-out *pickles* its work items (process
+        pool) is only used when that by-reference hand-off is available:
+        inlining the reference tensor into every envelope would re-ship it
+        ``num_updates`` times per round, which the fused serial loop beats.
         """
         from ..fl.training import predict_proba  # local import to avoid cycles
 
         executor = context.executor
-        if executor is not None and getattr(executor, "supports_generic_fanout", False):
-            factory = context.model_factory
-
-            def evaluate(update: ModelUpdate):
-                model = factory()
-                set_flat_params(model, update.parameters)
-                probs = predict_proba(model, images)
-                return probs.argmax(axis=1), probs.max(axis=1), probs.shape[1]
-
-            rows = executor.map_fn(evaluate, list(updates))
-            predicted = np.stack([row[0] for row in rows], axis=0)
-            max_probs = np.stack([row[1] for row in rows], axis=0).astype(np.float64)
-            return predicted, max_probs, rows[0][2]
+        if (
+            executor is not None
+            and getattr(executor, "supports_generic_fanout", False)
+            and len(updates) > 1
+        ):
+            images_payload: object = images
+            reference_ref = getattr(context, "reference_ref", None)
+            if (
+                reference_ref is not None
+                and tuple(reference_ref.images.shape) == images.shape
+            ):
+                images_payload = reference_ref.images
+            if (
+                isinstance(images_payload, SharedArrayRef)
+                or not getattr(executor, "fanout_requires_pickling", False)
+            ):
+                payloads = [
+                    (context.model_factory, update.parameters, images_payload)
+                    for update in updates
+                ]
+                rows = executor.map_fn(EVALUATE_UPDATE_FANOUT, payloads)
+                predicted = np.stack([row[0] for row in rows], axis=0)
+                max_probs = np.stack([row[1] for row in rows], axis=0).astype(np.float64)
+                return predicted, max_probs, rows[0][2]
 
         model = context.model_factory()
         probs_buffer: Optional[np.ndarray] = None

@@ -14,14 +14,20 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from ..nn.modules import Module
-from .executor import ClientTask, ClientTaskResult, run_client_task
+from .executor import ClientTask, ClientTaskResult, ShardRef, run_client_task
 from .types import LocalTrainingConfig, ModelUpdate
 
 __all__ = ["BenignClient"]
 
 
 class BenignClient:
-    """A protocol-following participant that trains on its own local shard."""
+    """A protocol-following participant that trains on its own local shard.
+
+    ``shard_ref`` is set by the simulation when the round executor uses the
+    once-per-simulation shared-memory shard store: tasks then reference the
+    published ``(images, labels)`` arrays instead of carrying them inline,
+    so a process-backend task pickles to a few hundred bytes.
+    """
 
     def __init__(
         self,
@@ -37,6 +43,7 @@ class BenignClient:
         self.dataset = dataset
         self.model_factory = model_factory
         self.config = config
+        self.shard_ref: Optional[ShardRef] = None
         self._rng = np.random.default_rng(seed)
 
     @property
@@ -50,9 +57,14 @@ class BenignClient:
         The task captures the client's current RNG *state*; the executor ships
         the advanced state back in the result and :meth:`consume_result`
         restores it, so any executor backend reproduces the serial RNG stream
-        exactly.
+        exactly.  When :attr:`shard_ref` is set, the task references the
+        shard-store publication instead of inlining the arrays.
         """
-        images, labels = self.dataset.arrays()
+        if self.shard_ref is not None:
+            images: Optional[np.ndarray] = None
+            labels: Optional[np.ndarray] = None
+        else:
+            images, labels = self.dataset.arrays()
         return ClientTask(
             client_id=self.client_id,
             round_number=round_number,
@@ -63,6 +75,7 @@ class BenignClient:
             config=self.config,
             model_factory=self.model_factory,
             rng_state=self._rng.bit_generator.state,
+            shard_ref=self.shard_ref,
         )
 
     def consume_result(self, result: ClientTaskResult) -> ModelUpdate:

@@ -4,22 +4,44 @@ Each FL round trains ``clients_per_round`` independent local models; the
 work units are embarrassingly parallel because every client starts from the
 same broadcast global parameters and touches only its own data shard and RNG
 stream.  :class:`ClientTask` captures one unit of that work as a fully
-picklable payload (plain numpy arrays, a :class:`LocalTrainingConfig`, and
-the client's RNG *state* rather than the generator object), so the same task
-can be executed in-process, on a thread pool, or in a worker process — and
-produce bit-identical results in all three cases.
+picklable payload (plain numpy arrays *or* shared-memory handles, a
+:class:`LocalTrainingConfig`, and the client's RNG *state* rather than the
+generator object), so the same task can be executed in-process, on a thread
+pool, or in a worker process — and produce bit-identical results in all
+three cases.
 
-Shared-memory broadcast
------------------------
-The global parameter vector is *identical* for every task of a round, so
-pickling it into each task wastes ``clients_per_round × nbytes`` of
-serialization per round.  :class:`ParallelExecutor` therefore publishes the
-vector once per round in a :mod:`multiprocessing.shared_memory` segment and
-rewrites the tasks to carry only a :class:`SharedParamsRef` (segment name,
-dtype, length) next to their per-client data shards.  Workers attach the
-segment read-only and copy the parameters straight into their model.  The
+Shared-memory data plane
+------------------------
+Two kinds of payload are identical across tasks and rounds and therefore
+never need to be pickled per task:
+
+* the **global parameter vector** is identical for every task of a round;
+  :class:`ParallelExecutor` publishes it once per round through a
+  :class:`SharedParamsLease` and rewrites the tasks to carry only a
+  :class:`SharedParamsRef` (segment name, dtype, length);
+* the **per-client data shards** (and the defense's reference arrays) are
+  *round-invariant*; the simulation publishes them once per simulation in a
+  :class:`SharedArrayStore` and hands each client a :class:`ShardRef`, so a
+  process-backend task pickles to a few hundred bytes instead of shipping
+  its image tensor every round.
+
+Workers attach segments read-only through a per-process cache
+(:func:`resolve_shared_array`): per-round parameter segments are evicted
+when the next round publishes under a new name, while *persistent* segments
+(the shard store) stay attached for the lifetime of the simulation.  The
 serial and thread backends keep inline arrays — they already share the
 parent's address space, so there is nothing to ship.
+
+Named fan-out registry
+----------------------
+Closures do not pickle, so a process pool cannot run arbitrary callables.
+:func:`register_fanout_fn` maintains a module-level registry of named,
+picklable work functions; callers pass the *name* to
+:meth:`ClientExecutor.map_fn` and the process backend ships tiny
+:class:`FanoutCall` envelopes to its workers, which resolve the name in
+their own registry (importing ``"package.module:fn"``-style names on
+demand).  REFD's per-update D-score inference uses this to fan out across
+processes; see :mod:`repro.defenses.refd`.
 
 Determinism contract
 --------------------
@@ -30,7 +52,8 @@ serialized state, trains, and ships the *advanced* state back so the owning
 would have.  Given the same seed, :class:`SerialExecutor`,
 :class:`ThreadedExecutor` and :class:`ParallelExecutor` therefore yield
 bit-identical :class:`~repro.fl.types.ModelUpdate` sequences — the
-shared-memory path ships the same bytes as the inline path.
+shared-memory paths ship the same bytes as the inline paths, and registered
+fan-out functions are pure functions of their payloads.
 
 Picklability
 ------------
@@ -45,10 +68,21 @@ dataclass) when running with processes.  The experiment layer
 from __future__ import annotations
 
 import dataclasses
+import importlib
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -59,8 +93,16 @@ from .types import LocalTrainingConfig
 __all__ = [
     "ClientTask",
     "ClientTaskResult",
+    "SharedArrayRef",
+    "SharedArrayStore",
+    "ShardRef",
     "SharedParamsRef",
     "SharedParamsLease",
+    "resolve_shared_array",
+    "FanoutCall",
+    "register_fanout_fn",
+    "resolve_fanout_fn",
+    "run_fanout_call",
     "run_client_task",
     "ClientExecutor",
     "SerialExecutor",
@@ -72,8 +114,128 @@ __all__ = [
 
 
 # ----------------------------------------------------------------------
-# Shared-memory parameter broadcast
+# Shared-memory data plane
 # ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SharedArrayRef:
+    """Handle to one array inside a shared-memory segment (picklable).
+
+    ``persistent`` marks segments that outlive a single round (the
+    simulation's shard store): the worker-side attach cache keeps them
+    mapped, whereas non-persistent segments (per-round parameter leases)
+    are evicted as soon as a newer segment is attached.
+    """
+
+    segment: str
+    dtype: str
+    shape: Tuple[int, ...]
+    offset: int = 0
+    persistent: bool = False
+
+    @property
+    def nbytes(self) -> int:
+        count = 1
+        for dim in self.shape:
+            count *= int(dim)
+        return int(np.dtype(self.dtype).itemsize) * count
+
+
+#: Byte alignment of arrays packed into one segment; 64 keeps every array
+#: cache-line aligned so BLAS kernels see the same layout as a fresh
+#: ``np.empty`` allocation.
+_SEGMENT_ALIGN = 64
+
+
+class SharedArrayStore:
+    """Parent-side owner of one segment packing many named arrays.
+
+    Create it with a mapping of names to arrays; every array is copied once
+    into a single :mod:`multiprocessing.shared_memory` segment and
+    :attr:`refs` holds a picklable :class:`SharedArrayRef` per name.  The
+    store is a context manager and carries a ``__del__`` safety net, so the
+    segment cannot leak even when the round loop raises before its
+    ``finally`` runs.  :meth:`close` is idempotent.
+    """
+
+    def __init__(
+        self, arrays: Mapping[str, np.ndarray], persistent: bool = True
+    ) -> None:
+        from multiprocessing import shared_memory
+
+        self._shm = None  # set early so __del__ is safe if creation raises
+        contiguous = {
+            name: np.ascontiguousarray(array) for name, array in arrays.items()
+        }
+        offsets: Dict[str, int] = {}
+        total = 0
+        for name, array in contiguous.items():
+            offsets[name] = total
+            total += array.nbytes
+            total += (-total) % _SEGMENT_ALIGN
+        self._shm = shared_memory.SharedMemory(create=True, size=max(1, total))
+        self.refs: Dict[str, SharedArrayRef] = {}
+        for name, array in contiguous.items():
+            view = np.ndarray(
+                array.shape, dtype=array.dtype, buffer=self._shm.buf, offset=offsets[name]
+            )
+            view[...] = array
+            self.refs[name] = SharedArrayRef(
+                segment=self._shm.name,
+                dtype=array.dtype.str,
+                shape=tuple(array.shape),
+                offset=offsets[name],
+                persistent=persistent,
+            )
+
+    @property
+    def name(self) -> str:
+        """Name of the backing shared-memory segment."""
+        if self._shm is None:
+            raise ValueError("store is closed")
+        return self._shm.name
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the backing segment in bytes."""
+        if self._shm is None:
+            return 0
+        return self._shm.size
+
+    def close(self) -> None:
+        """Close and unlink the segment (idempotent)."""
+        if self._shm is not None:
+            self._shm.close()
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            self._shm = None
+
+    def __enter__(self) -> "SharedArrayStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+@dataclass(frozen=True)
+class ShardRef:
+    """Shared-memory handles to one client's round-invariant ``(images, labels)``."""
+
+    images: SharedArrayRef
+    labels: SharedArrayRef
+
+    def resolve(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Attach (or reuse) the segment and return read-only array views."""
+        return resolve_shared_array(self.images), resolve_shared_array(self.labels)
+
+
 @dataclass(frozen=True)
 class SharedParamsRef:
     """Handle to a parameter vector published in shared memory (picklable)."""
@@ -86,45 +248,44 @@ class SharedParamsRef:
 class SharedParamsLease:
     """Parent-side owner of one round's shared-memory parameter segment.
 
-    Create it with the round's global parameter vector, hand
-    :attr:`ref` to the tasks, and :meth:`release` after the round's results
-    are in (workers only read the segment while executing their task).
+    A thin single-array wrapper over :class:`SharedArrayStore`: create it
+    with the round's global parameter vector, hand :attr:`ref` to the tasks,
+    and :meth:`release` after the round's results are in (workers only read
+    the segment while executing their task).  Usable as a context manager;
+    the underlying store's ``__del__`` guarantees the segment is unlinked
+    even if ``release`` is never reached.
     """
 
     def __init__(self, vector: np.ndarray) -> None:
-        from multiprocessing import shared_memory
-
         vector = np.ascontiguousarray(vector)
-        self._shm = shared_memory.SharedMemory(create=True, size=max(1, vector.nbytes))
-        view = np.ndarray(vector.shape, dtype=vector.dtype, buffer=self._shm.buf)
-        view[:] = vector
+        self._store = SharedArrayStore({"params": vector}, persistent=False)
         self.ref = SharedParamsRef(
-            name=self._shm.name, dtype=vector.dtype.str, size=vector.size
+            name=self._store.name, dtype=vector.dtype.str, size=vector.size
         )
 
     def release(self) -> None:
         """Close and unlink the segment (idempotent)."""
-        if self._shm is not None:
-            self._shm.close()
-            try:
-                self._shm.unlink()
-            except FileNotFoundError:  # pragma: no cover - already gone
-                pass
-            self._shm = None
+        self._store.close()
+
+    def __enter__(self) -> "SharedParamsLease":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
 
 
-#: Worker-process cache of the currently attached segment.  A worker handles
-#: several tasks per round; all of them reference the same segment, so one
-#: attach per (worker, round) suffices.  Stale segments are detached when a
-#: new round publishes under a different name.
-_ATTACHED_SEGMENTS: Dict[str, Tuple[object, np.ndarray]] = {}
+#: Worker-process cache of attached segments: ``name -> (shm, persistent)``.
+#: A worker handles several tasks per round; all of them reference the same
+#: segments, so one attach per (worker, segment) suffices.  Stale per-round
+#: parameter segments are detached when a new segment is attached; persistent
+#: segments (the simulation's shard store) stay mapped.
+_ATTACHED_SEGMENTS: Dict[str, Tuple[object, bool]] = {}
 
 
-def _attach_shared_params(ref: SharedParamsRef) -> np.ndarray:
-    """Attach (or reuse) the shared segment and return a read-only view."""
-    cached = _ATTACHED_SEGMENTS.get(ref.name)
+def _attach_segment(name: str, persistent: bool):
+    cached = _ATTACHED_SEGMENTS.get(name)
     if cached is not None:
-        return cached[1]
+        return cached[0]
     from multiprocessing import shared_memory
 
     # The parent owns the segment's lifetime, so the attaching side must not
@@ -133,44 +294,122 @@ def _attach_shared_params(ref: SharedParamsRef) -> np.ndarray:
     # directly via ``track=False``; older versions need the registration
     # call suppressed for the duration of this one attach.
     try:
-        shm = shared_memory.SharedMemory(name=ref.name, track=False)
+        shm = shared_memory.SharedMemory(name=name, track=False)
     except TypeError:  # pragma: no cover - Python < 3.13
         from multiprocessing import resource_tracker
 
         original_register = resource_tracker.register
         resource_tracker.register = lambda *args, **kwargs: None
         try:
-            shm = shared_memory.SharedMemory(name=ref.name)
+            shm = shared_memory.SharedMemory(name=name)
         finally:
             resource_tracker.register = original_register
-    view = np.ndarray((ref.size,), dtype=np.dtype(ref.dtype), buffer=shm.buf)
+    for other in list(_ATTACHED_SEGMENTS):
+        other_shm, other_persistent = _ATTACHED_SEGMENTS[other]
+        if not other_persistent:
+            _ATTACHED_SEGMENTS.pop(other)
+            other_shm.close()
+    _ATTACHED_SEGMENTS[name] = (shm, persistent)
+    return shm
+
+
+def resolve_shared_array(ref: SharedArrayRef) -> np.ndarray:
+    """Attach (or reuse) the segment of ``ref`` and return a read-only view."""
+    shm = _attach_segment(ref.segment, ref.persistent)
+    view = np.ndarray(
+        ref.shape, dtype=np.dtype(ref.dtype), buffer=shm.buf, offset=ref.offset
+    )
     view.flags.writeable = False
-    for name in list(_ATTACHED_SEGMENTS):
-        old_shm, _ = _ATTACHED_SEGMENTS.pop(name)
-        old_shm.close()
-    _ATTACHED_SEGMENTS[ref.name] = (shm, view)
     return view
 
 
+def _attach_shared_params(ref: SharedParamsRef) -> np.ndarray:
+    """Attach (or reuse) a parameter segment and return a read-only vector."""
+    return resolve_shared_array(
+        SharedArrayRef(
+            segment=ref.name, dtype=ref.dtype, shape=(ref.size,), persistent=False
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# Named fan-out registry
+# ----------------------------------------------------------------------
+_FANOUT_REGISTRY: Dict[str, Callable] = {}
+
+
+def register_fanout_fn(name: str, fn: Callable) -> Callable:
+    """Register a named, picklable work function for executor fan-out.
+
+    Use ``"package.module:label"`` names so worker processes that have not
+    imported the defining module yet can resolve the name by importing it
+    (:func:`resolve_fanout_fn` does this automatically).  Re-registering the
+    same function under the same name is a no-op (identity or qualified
+    name — the same module imported under two paths registers equal
+    functions); registering a genuinely *different* function under a taken
+    name raises.
+    """
+    existing = _FANOUT_REGISTRY.get(name)
+    if existing is not None and existing is not fn:
+        if getattr(existing, "__qualname__", None) != getattr(fn, "__qualname__", ""):
+            raise ValueError(f"fan-out name '{name}' is already registered")
+        return existing
+    _FANOUT_REGISTRY[name] = fn
+    return fn
+
+
+def resolve_fanout_fn(name: str) -> Callable:
+    """Look up a registered fan-out function, importing its module on demand."""
+    fn = _FANOUT_REGISTRY.get(name)
+    if fn is None and ":" in name:
+        try:
+            importlib.import_module(name.split(":", 1)[0])
+        except ImportError:
+            pass  # fall through to the KeyError below
+        fn = _FANOUT_REGISTRY.get(name)
+    if fn is None:
+        raise KeyError(f"no fan-out function registered under '{name}'")
+    return fn
+
+
+@dataclass(frozen=True)
+class FanoutCall:
+    """Picklable envelope shipping one registered-function call to a worker."""
+
+    name: str
+    payload: object
+
+
+def run_fanout_call(call: FanoutCall):
+    """Execute one envelope: resolve the name and apply it to the payload."""
+    return resolve_fanout_fn(call.name)(call.payload)
+
+
+# ----------------------------------------------------------------------
+# Client tasks
+# ----------------------------------------------------------------------
 @dataclass
 class ClientTask:
     """One benign client's local-training work for one round (picklable).
 
     Exactly one of ``global_params`` (inline vector, serial/thread backends)
-    and ``params_ref`` (shared-memory handle, process backend) is set.
+    and ``params_ref`` (shared-memory handle, process backend) is set, and
+    likewise exactly one of the inline ``images``/``labels`` arrays and
+    ``shard_ref`` (the once-per-simulation shard store publication).
     """
 
     client_id: int
     round_number: int
     global_params: Optional[np.ndarray]
-    images: np.ndarray
-    labels: np.ndarray
+    images: Optional[np.ndarray]
+    labels: Optional[np.ndarray]
     num_samples: int
     config: LocalTrainingConfig
     model_factory: Callable[[], object]
     rng_state: Dict
     """Serialized ``Generator.bit_generator.state`` of the owning client."""
     params_ref: Optional[SharedParamsRef] = None
+    shard_ref: Optional[ShardRef] = None
 
     def resolve_global_params(self) -> np.ndarray:
         """The task's global parameter vector, attaching shared memory if used."""
@@ -179,6 +418,14 @@ class ClientTask:
         if self.params_ref is None:
             raise ValueError("task carries neither inline parameters nor a shm ref")
         return _attach_shared_params(self.params_ref)
+
+    def resolve_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The task's ``(images, labels)`` shard, attaching shared memory if used."""
+        if self.images is not None and self.labels is not None:
+            return self.images, self.labels
+        if self.shard_ref is None:
+            raise ValueError("task carries neither inline arrays nor a shard ref")
+        return self.shard_ref.resolve()
 
 
 @dataclass
@@ -197,7 +444,8 @@ def run_client_task(task: ClientTask) -> ClientTaskResult:
     rng.bit_generator.state = task.rng_state
     model = task.model_factory()
     set_flat_params(model, task.resolve_global_params())
-    train_on_arrays(model, task.images, task.labels, task.config, rng)
+    images, labels = task.resolve_arrays()
+    train_on_arrays(model, images, labels, task.config, rng)
     return ClientTaskResult(
         client_id=task.client_id,
         parameters=get_flat_params(model),
@@ -219,20 +467,32 @@ class ClientExecutor:
     """Whether :meth:`map_fn` actually runs items concurrently.  Consumers
     with a cheaper serial fast path (REFD's fused scoring loop) only hand
     work to the executor when this is set."""
+    supports_shard_store = False
+    """Whether the backend benefits from the once-per-simulation shard store
+    (only process pools do — threads already share the address space)."""
+    fanout_requires_pickling = False
+    """Whether :meth:`map_fn` serializes each work item to reach its workers.
+    Consumers with large shared payloads (REFD's reference images) only fan
+    out across such a backend when they can pass those payloads by
+    shared-memory reference instead of inlining them into every item."""
 
     def map(self, tasks: Sequence[ClientTask]) -> List[ClientTaskResult]:
         """Run every task and return results in the same order as ``tasks``."""
         raise NotImplementedError
 
-    def map_fn(self, fn: Callable, items: Iterable) -> List:
+    def map_fn(self, fn: Union[str, Callable], items: Iterable) -> List:
         """Generic order-preserving fan-out for non-task work.
 
-        Defense-side per-update work (e.g. REFD scoring) uses this to reuse
-        the round's worker pool.  The base implementation runs serially;
-        :class:`ThreadedExecutor` overlaps numpy-heavy callables on its
-        thread pool.  The process backend inherits the serial behaviour,
-        because arbitrary closures do not pickle.
+        ``fn`` is either a callable or the *name* of a function registered
+        with :func:`register_fanout_fn`.  Defense-side per-update work
+        (REFD scoring) uses this to reuse the round's worker pool.  The base
+        implementation runs serially; :class:`ThreadedExecutor` overlaps
+        numpy-heavy callables on its thread pool; :class:`ParallelExecutor`
+        ships *registered names* to its process pool (bare callables fall
+        back to serial there, because closures do not pickle).
         """
+        if isinstance(fn, str):
+            fn = resolve_fanout_fn(fn)
         return [fn(item) for item in items]
 
     def close(self) -> None:
@@ -277,7 +537,9 @@ class ThreadedExecutor(ClientExecutor):
     def map(self, tasks: Sequence[ClientTask]) -> List[ClientTaskResult]:
         return list(self._ensure_pool().map(run_client_task, tasks))
 
-    def map_fn(self, fn: Callable, items: Iterable) -> List:
+    def map_fn(self, fn: Union[str, Callable], items: Iterable) -> List:
+        if isinstance(fn, str):
+            fn = resolve_fanout_fn(fn)
         return list(self._ensure_pool().map(fn, items))
 
     def close(self) -> None:
@@ -293,15 +555,26 @@ class ParallelExecutor(ClientExecutor):
     is created lazily on first use and reused across rounds, so the process
     start-up cost is paid once per simulation rather than once per round.
 
-    When ``use_shared_memory`` is enabled (the default) and a round's tasks
-    all broadcast the same global parameter vector, that vector is published
-    once per round via :class:`SharedParamsLease` instead of being pickled
-    into every task; tasks then carry only the segment name plus their own
-    data shards.  Set it to ``False`` to force inline parameters (e.g. on
-    platforms without POSIX shared memory).
+    When ``use_shared_memory`` is enabled (the default):
+
+    * a round whose tasks all broadcast the same global parameter vector
+      (identity *or* value equality) publishes that vector once per round
+      via :class:`SharedParamsLease` instead of pickling it into every task;
+    * the simulation publishes every client's round-invariant data shard
+      once per simulation in a :class:`SharedArrayStore` and tasks carry
+      only a :class:`ShardRef` (see
+      :attr:`~ClientExecutor.supports_shard_store`);
+    * :meth:`map_fn` ships registered fan-out names to the same pool
+      (:attr:`~ClientExecutor.supports_generic_fanout`), which is how REFD
+      D-score inference runs across processes.
+
+    Set it to ``False`` to force inline payloads (e.g. on platforms without
+    POSIX shared memory).
     """
 
     name = "process"
+    supports_generic_fanout = True
+    fanout_requires_pickling = True
 
     def __init__(
         self, workers: Optional[int] = None, use_shared_memory: bool = True
@@ -309,23 +582,48 @@ class ParallelExecutor(ClientExecutor):
         self.workers = workers or default_worker_count()
         self.use_shared_memory = use_shared_memory
         self.shm_rounds = 0
-        """Number of rounds dispatched through the shared-memory path."""
+        """Number of rounds dispatched through the shared-memory params path."""
+        self.shard_rounds = 0
+        """Number of rounds whose tasks carried shard-store refs instead of
+        inline image/label arrays."""
+        self.fanout_calls = 0
+        """Number of registered-name work items shipped through :meth:`map_fn`."""
         self._pool: Optional[ProcessPoolExecutor] = None
 
+    @property
+    def supports_shard_store(self) -> bool:
+        return self.use_shared_memory
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
     def _broadcast_vector(self, tasks: Sequence[ClientTask]) -> Optional[np.ndarray]:
-        """The round's common parameter vector, or ``None`` if not shareable."""
+        """The round's common parameter vector, or ``None`` if not shareable.
+
+        Tasks usually broadcast the *same object*, but equal-valued distinct
+        vectors (e.g. defensive per-task copies) are recognised too — via
+        :func:`np.shares_memory` first (cheap view check), then an exact
+        ``array_equal`` fallback — so the shm path is not silently skipped.
+        """
         if not self.use_shared_memory or len(tasks) < 2:
             return None
         first = tasks[0].global_params
         if first is None:
             return None
-        if all(task.global_params is first for task in tasks[1:]):
-            return first
-        return None
+        for task in tasks[1:]:
+            other = task.global_params
+            if other is first:
+                continue
+            if other is None:
+                return None
+            if not (np.shares_memory(other, first) or np.array_equal(other, first)):
+                return None
+        return first
 
     def map(self, tasks: Sequence[ClientTask]) -> List[ClientTaskResult]:
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        pool = self._ensure_pool()
         tasks = list(tasks)
         vector = self._broadcast_vector(tasks)
         lease: Optional[SharedParamsLease] = None
@@ -340,12 +638,26 @@ class ParallelExecutor(ClientExecutor):
                 for task in tasks
             ]
         try:
-            results = list(self._pool.map(run_client_task, tasks))
+            results = list(pool.map(run_client_task, tasks))
         finally:
             if lease is not None:
                 lease.release()
         if lease is not None:
             self.shm_rounds += 1
+        if any(task.shard_ref is not None for task in tasks):
+            self.shard_rounds += 1
+        return results
+
+    def map_fn(self, fn: Union[str, Callable], items: Iterable) -> List:
+        items = list(items)
+        if not isinstance(fn, str):
+            # Bare callables (closures) do not pickle; run them serially
+            # rather than failing.  Register a named function to fan out.
+            return [fn(item) for item in items]
+        resolve_fanout_fn(fn)  # fail fast in the parent on unknown names
+        calls = [FanoutCall(name=fn, payload=item) for item in items]
+        results = list(self._ensure_pool().map(run_fanout_call, calls))
+        self.fanout_calls += len(calls)
         return results
 
     def close(self) -> None:

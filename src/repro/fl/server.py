@@ -37,12 +37,14 @@ class Server:
         reference_dataset=None,
         seed: int = 0,
         executor=None,
+        reference_ref=None,
     ) -> None:
         self.model_factory = model_factory
         self.defense = defense or NoDefense()
         self.expected_num_malicious = expected_num_malicious
         self.reference_dataset = reference_dataset
         self.executor = executor
+        self.reference_ref = reference_ref
         self._rng = np.random.default_rng(seed)
         self.global_model = model_factory()
         self.flat_params = FlatParams.from_module(self.global_model)
@@ -72,6 +74,7 @@ class Server:
             model_factory=self.model_factory,
             reference_dataset=self.reference_dataset,
             executor=self.executor,
+            reference_ref=self.reference_ref,
         )
         result = self.defense.aggregate(list(updates), context)
         self.previous_global_params = self.global_params

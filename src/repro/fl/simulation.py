@@ -19,7 +19,7 @@ from ..data.synthetic import SyntheticImageTask
 from ..defenses.base import Defense, NoDefense
 from ..nn.modules import Module
 from .client import BenignClient
-from .executor import ClientExecutor, build_executor
+from .executor import ClientExecutor, ShardRef, SharedArrayStore, build_executor
 from .selection import ClientSelector, UniformSelector
 from .server import Server
 from .types import AttackRoundContext, LocalTrainingConfig, ModelUpdate, RoundRecord
@@ -82,7 +82,12 @@ class FederatedSimulation:
         names ``"serial"`` / ``"thread"`` / ``"process"``.  ``None`` (the
         default) runs serially.  All backends are bit-identical for a given
         seed; ``"process"`` additionally requires ``model_factory`` to be
-        picklable (e.g. :class:`repro.models.ClassifierFactory`).
+        picklable (e.g. :class:`repro.models.ClassifierFactory`).  With a
+        process backend the simulation also publishes every benign client's
+        round-invariant data shard (and the defense's reference arrays) in
+        a once-per-simulation shared-memory
+        :class:`~repro.fl.executor.SharedArrayStore`, so per-round task
+        payloads stay tiny.
     """
 
     def __init__(
@@ -134,6 +139,7 @@ class FederatedSimulation:
         defense = defense or NoDefense()
         reference_dataset, eval_dataset = self._split_reference(defense, reference_fraction)
         self.eval_dataset = eval_dataset
+        reference_ref = self._publish_shard_store(reference_dataset)
         self.server = Server(
             model_factory=model_factory,
             defense=defense,
@@ -141,6 +147,7 @@ class FederatedSimulation:
             reference_dataset=reference_dataset,
             seed=seed + 17,
             executor=self.executor,
+            reference_ref=reference_ref,
         )
 
     # ------------------------------------------------------------------
@@ -178,6 +185,47 @@ class FederatedSimulation:
         benign_sizes = [client.num_samples for client in self.benign_clients.values()]
         self._median_benign_samples = int(np.median(benign_sizes)) if benign_sizes else 1
 
+    def _publish_shard_store(self, reference_dataset) -> Optional[ShardRef]:
+        """Publish round-invariant arrays in shared memory, once per simulation.
+
+        Every benign client's ``(images, labels)`` shard — and the defense's
+        reference arrays, when there are any — go into one
+        :class:`~repro.fl.executor.SharedArrayStore` segment, so
+        process-backend tasks carry only a tiny
+        :class:`~repro.fl.executor.ShardRef` instead of re-pickling their
+        image tensors every round.  Backends that share the parent's address
+        space (serial/thread), executors with shared memory disabled, and
+        platforms without POSIX shm all skip the store and keep inline
+        arrays.  Returns the reference-array ref for the server, if any.
+        """
+        self._shard_store: Optional[SharedArrayStore] = None
+        if not getattr(self.executor, "supports_shard_store", False):
+            return None
+        arrays: Dict[str, np.ndarray] = {}
+        for client_id, client in self.benign_clients.items():
+            images, labels = client.dataset.arrays()
+            arrays[f"client/{client_id}/images"] = images
+            arrays[f"client/{client_id}/labels"] = labels
+        if reference_dataset is not None:
+            ref_images, ref_labels = reference_dataset.arrays()
+            arrays["reference/images"] = ref_images
+            arrays["reference/labels"] = ref_labels
+        try:
+            self._shard_store = SharedArrayStore(arrays, persistent=True)
+        except (ImportError, OSError):  # pragma: no cover - no POSIX shm
+            return None
+        refs = self._shard_store.refs
+        for client_id, client in self.benign_clients.items():
+            client.shard_ref = ShardRef(
+                images=refs[f"client/{client_id}/images"],
+                labels=refs[f"client/{client_id}/labels"],
+            )
+        if reference_dataset is not None:
+            return ShardRef(
+                images=refs["reference/images"], labels=refs["reference/labels"]
+            )
+        return None
+
     def _split_reference(self, defense: Defense, reference_fraction: float):
         """Give REFD-style defenses a balanced reference set from the test split."""
         needs_reference = getattr(defense, "requires_reference_dataset", False)
@@ -207,10 +255,10 @@ class FederatedSimulation:
         selected = self.selector.select(
             list(range(self.num_clients)), self.clients_per_round, self._rng
         )
-        selected_malicious = [
-            cid for cid in selected if cid in set(self.malicious_client_ids)
-        ]
-        selected_benign = [cid for cid in selected if cid not in set(selected_malicious)]
+        malicious_set = set(self.malicious_client_ids)
+        selected_malicious = [cid for cid in selected if cid in malicious_set]
+        selected_malicious_set = set(selected_malicious)
+        selected_benign = [cid for cid in selected if cid not in selected_malicious_set]
 
         global_params = self.server.distribute()
         tasks = [
@@ -280,8 +328,11 @@ class FederatedSimulation:
         )
 
     def close(self) -> None:
-        """Release pooled executor workers (no-op for the serial backend)."""
+        """Release pooled executor workers and the shared-memory shard store."""
         self.executor.close()
+        if self._shard_store is not None:
+            self._shard_store.close()
+            self._shard_store = None
 
     def __enter__(self) -> "FederatedSimulation":
         return self

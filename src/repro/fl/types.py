@@ -106,7 +106,15 @@ class DefenseContext:
 
     ``executor`` is the round's client executor (when the simulation runs
     one); defenses with per-update work (REFD scoring) may fan out across
-    it via :meth:`~repro.fl.executor.ClientExecutor.map_fn`.
+    it via :meth:`~repro.fl.executor.ClientExecutor.map_fn`, passing a name
+    registered with :func:`~repro.fl.executor.register_fanout_fn` so the
+    process backend can ship the work to its pool.
+
+    ``reference_ref`` is the shared-memory publication of the reference
+    dataset's ``(images, labels)`` arrays (a
+    :class:`~repro.fl.executor.ShardRef`), available when the simulation
+    runs a process executor with its shard store enabled: fan-out payloads
+    then reference the segment instead of pickling the images per update.
     """
 
     round_number: int
@@ -116,6 +124,7 @@ class DefenseContext:
     model_factory: Optional[Callable[[], "object"]] = None
     reference_dataset: Optional["object"] = None
     executor: Optional["object"] = None
+    reference_ref: Optional["object"] = None
 
 
 @dataclass

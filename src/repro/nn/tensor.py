@@ -16,6 +16,7 @@ in :mod:`repro.models`.  Convolution and loss primitives live in
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -27,32 +28,38 @@ DEFAULT_DTYPE = np.float32
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
-_GRAD_ENABLED = True
+#: Per-thread autograd switch.  Thread-local because executor thread pools
+#: run inference (``no_grad`` blocks) concurrently with the main thread —
+#: REFD scoring fans out ``predict_proba`` across a ThreadedExecutor while
+#: the round loop may keep recording gradients — and a process-global flag
+#: with per-instance save/restore would race (one interleaving leaves
+#: gradient recording permanently disabled, the other builds stray graphs
+#: mid-inference).
+_GRAD_STATE = threading.local()
 
 
 class no_grad:
-    """Context manager that disables graph construction.
+    """Context manager that disables graph construction (per thread).
 
     Inside a ``with no_grad():`` block all tensor operations produce
     results with ``requires_grad=False`` and no backward closures, which
     keeps inference (e.g. defense-side evaluation of client updates on
-    the reference dataset) cheap.
+    the reference dataset) cheap.  The switch is thread-local, so pooled
+    inference threads never disable recording for anyone else.
     """
 
     def __enter__(self) -> "no_grad":
-        global _GRAD_ENABLED
-        self._previous = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        self._previous = is_grad_enabled()
+        _GRAD_STATE.enabled = False
         return self
 
     def __exit__(self, exc_type, exc_value, traceback) -> None:
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._previous
+        _GRAD_STATE.enabled = self._previous
 
 
 def is_grad_enabled() -> bool:
     """Return whether new operations will be recorded for autograd."""
-    return _GRAD_ENABLED
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -122,7 +129,7 @@ class Tensor:
         require gradients, the result is a detached constant tensor.
         """
         parents = tuple(parents)
-        requires_grad = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires_grad = is_grad_enabled() and any(p.requires_grad for p in parents)
         out = cls(data)
         out.requires_grad = requires_grad
         if requires_grad:

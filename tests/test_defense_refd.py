@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.defenses.refd import (
+    EVALUATE_UPDATE_FANOUT,
     Refd,
     balance_value,
     balance_values,
@@ -13,8 +14,10 @@ from repro.defenses.refd import (
     confidence_values,
     d_score,
     d_scores,
+    evaluate_update,
+    max_balance_value,
 )
-from repro.fl.executor import ThreadedExecutor
+from repro.fl.executor import ParallelExecutor, ThreadedExecutor, resolve_fanout_fn
 from repro.fl.training import train_local_model
 from repro.fl.types import DefenseContext, LocalTrainingConfig, ModelUpdate
 from repro.nn.serialization import get_flat_params, set_flat_params
@@ -22,8 +25,41 @@ from repro.nn.serialization import get_flat_params, set_flat_params
 
 class TestScoreComponents:
     def test_balance_value_uniform_counts(self):
-        # Perfectly balanced predictions => zero std => balance value 1.
-        assert balance_value(np.array([10, 10, 10, 10])) == 1.0
+        # Perfectly balanced predictions => zero std => the supremum of the
+        # finite balance values, sqrt(C / 2) — NOT the old sentinel of 1.0,
+        # which ranked perfect balance below mildly imbalanced histograms.
+        assert balance_value(np.array([10, 10, 10, 10])) == max_balance_value(4)
+        assert max_balance_value(4) == pytest.approx(np.sqrt(2.0))
+
+    def test_balanced_histogram_never_scores_below_imbalanced(self):
+        # Regression (Eq. 6 inversion): every integer histogram that is not
+        # perfectly balanced deviates by at least (+1, -1, 0, ...), so its
+        # balance value is at most sqrt(C / 2).  The perfectly balanced
+        # histogram must rank at least as high as every one of them — the
+        # old sentinel of 1.0 ranked it below any histogram with std < 1.
+        rng = np.random.default_rng(0)
+        for num_classes in (2, 4, 10):
+            balanced = balance_value(np.full(num_classes, 10))
+            # The nearly-balanced worst case the bound is tight against ...
+            nearly = np.full(num_classes, 10)
+            nearly[0] += 1
+            nearly[1] -= 1
+            assert balanced >= balance_value(nearly)
+            # ... and a fuzzed batch of imbalanced histograms.
+            for _ in range(50):
+                counts = rng.multinomial(10 * num_classes, rng.dirichlet(np.ones(num_classes)))
+                if counts.std() == 0.0:
+                    continue
+                assert balanced >= balance_value(counts)
+
+    def test_balanced_update_d_score_not_below_imbalanced(self):
+        # The inversion flipped *D-scores* too: at equal confidence, a
+        # perfectly class-balanced update must never be out-scored by a
+        # biased one (that is what Eq. 8 feeds on).
+        confidence = 0.9
+        balanced_score = d_score(balance_value(np.array([5, 5, 5, 5])), confidence)
+        nearly_score = d_score(balance_value(np.array([6, 4, 5, 5])), confidence)
+        assert balanced_score >= nearly_score
 
     def test_balance_value_decreases_with_bias(self):
         balanced = balance_value(np.array([10, 10, 10, 10]))
@@ -101,7 +137,7 @@ class TestBatchedScoring:
             for i in range(count)
         ]
 
-    def _context(self, tiny_task, mlp_factory, executor=None):
+    def _context(self, tiny_task, mlp_factory, executor=None, reference_ref=None):
         return DefenseContext(
             round_number=0,
             global_params=get_flat_params(mlp_factory()),
@@ -110,6 +146,7 @@ class TestBatchedScoring:
             model_factory=mlp_factory,
             reference_dataset=tiny_task.test,
             executor=executor,
+            reference_ref=reference_ref,
         )
 
     def test_batched_scores_match_per_update_scoring(self, tiny_task, mlp_factory):
@@ -144,6 +181,74 @@ class TestBatchedScoring:
         defense = Refd(num_rejected=1)
         images, _ = tiny_task.test.arrays()
         assert defense.score_updates([], images, self._context(tiny_task, mlp_factory)) == []
+
+    def test_evaluate_update_is_registered_for_fanout(self):
+        assert resolve_fanout_fn(EVALUATE_UPDATE_FANOUT) is evaluate_update
+
+    def test_evaluate_update_matches_fused_loop(self, tiny_task, mlp_factory):
+        defense = Refd(num_rejected=1)
+        context = self._context(tiny_task, mlp_factory)
+        updates = self._updates(tiny_task, mlp_factory)
+        images, _ = tiny_task.test.arrays()
+        predicted, max_probs, num_classes = defense._evaluate_batched(updates, images, context)
+        for index, update in enumerate(updates):
+            row_pred, row_max, row_classes = evaluate_update(
+                (mlp_factory, update.parameters, images)
+            )
+            assert row_classes == num_classes
+            np.testing.assert_array_equal(row_pred, predicted[index])
+            np.testing.assert_array_equal(row_max.astype(np.float64), max_probs[index])
+
+    def test_process_executor_fanout_matches_serial(self, tiny_task):
+        from repro.fl.executor import ShardRef, SharedArrayStore
+        from repro.models import ClassifierFactory
+
+        factory = ClassifierFactory(
+            architecture="mlp", in_channels=1, image_size=12, num_classes=10, seed=0
+        )
+        defense = Refd(num_rejected=1)
+        updates = self._updates(tiny_task, factory)
+        images, labels = tiny_task.test.arrays()
+        serial = defense.score_updates(updates, images, self._context(tiny_task, factory))
+        with SharedArrayStore({"reference/images": images, "reference/labels": labels}) as store:
+            reference_ref = ShardRef(
+                images=store.refs["reference/images"],
+                labels=store.refs["reference/labels"],
+            )
+            with ParallelExecutor(workers=2) as executor:
+                process = defense.score_updates(
+                    updates,
+                    images,
+                    self._context(
+                        tiny_task, factory, executor=executor, reference_ref=reference_ref
+                    ),
+                )
+                assert executor.fanout_calls == len(updates)
+        assert [(r.balance, r.confidence, r.score) for r in serial] == [
+            (r.balance, r.confidence, r.score) for r in process
+        ]
+
+    def test_process_executor_without_reference_ref_stays_serial(self, tiny_task):
+        """A pickling fan-out backend is skipped when the reference images
+        cannot be passed by shared-memory reference — inlining them into
+        every envelope would re-ship the tensor num_updates times a round."""
+        from repro.models import ClassifierFactory
+
+        factory = ClassifierFactory(
+            architecture="mlp", in_channels=1, image_size=12, num_classes=10, seed=0
+        )
+        defense = Refd(num_rejected=1)
+        updates = self._updates(tiny_task, factory)
+        images, _ = tiny_task.test.arrays()
+        serial = defense.score_updates(updates, images, self._context(tiny_task, factory))
+        with ParallelExecutor(workers=2) as executor:
+            fused = defense.score_updates(
+                updates, images, self._context(tiny_task, factory, executor=executor)
+            )
+            assert executor.fanout_calls == 0
+        assert [(r.balance, r.confidence, r.score) for r in serial] == [
+            (r.balance, r.confidence, r.score) for r in fused
+        ]
 
 
 class TestRefdValidation:

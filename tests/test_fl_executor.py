@@ -9,13 +9,21 @@ import pytest
 
 from repro.experiments import build_simulation, smoke_scale
 from repro.fl.executor import (
+    FanoutCall,
     ParallelExecutor,
     SerialExecutor,
+    ShardRef,
+    SharedArrayRef,
+    SharedArrayStore,
     SharedParamsLease,
     SharedParamsRef,
     ThreadedExecutor,
     build_executor,
+    register_fanout_fn,
+    resolve_fanout_fn,
+    resolve_shared_array,
     run_client_task,
+    run_fanout_call,
 )
 from repro.fl.simulation import FederatedSimulation
 from repro.fl.types import LocalTrainingConfig
@@ -139,7 +147,7 @@ class TestSharedMemoryBroadcast:
         with pytest.raises(ValueError):
             task.resolve_global_params()
 
-    def test_broadcast_vector_requires_shared_object(self, tiny_task):
+    def test_broadcast_vector_recognises_equal_vectors(self, tiny_task):
         config = smoke_scale(num_rounds=1)
         simulation = build_simulation(config)
         clients = list(simulation.benign_clients.values())[:2]
@@ -147,9 +155,255 @@ class TestSharedMemoryBroadcast:
         tasks = [client.make_task(params, 0) for client in clients]
         executor = ParallelExecutor(workers=1)
         assert executor._broadcast_vector(tasks) is params
-        tasks[1].global_params = params.copy()  # equal values, different object
+        # An equal-valued copy must not silently disable the shm fast path ...
+        tasks[1].global_params = params.copy()
+        assert executor._broadcast_vector(tasks) is params
+        # ... nor must a view into the same buffer ...
+        tasks[1].global_params = params[:]
+        assert executor._broadcast_vector(tasks) is params
+        # ... but genuinely different vectors cannot be broadcast,
+        different = params.copy()
+        different[0] += 1.0
+        tasks[1].global_params = different
         assert executor._broadcast_vector(tasks) is None
+        # and opting out of shared memory always wins.
+        tasks[1].global_params = params
         assert ParallelExecutor(workers=1, use_shared_memory=False)._broadcast_vector(tasks) is None
+
+
+class TestSharedArrayStore:
+    """The once-per-simulation multi-array shard store."""
+
+    def test_roundtrips_named_arrays(self):
+        rng = np.random.default_rng(0)
+        arrays = {
+            "a/images": rng.standard_normal((5, 1, 4, 4)).astype(np.float32),
+            "a/labels": rng.integers(0, 10, size=5).astype(np.int64),
+            "b/images": rng.standard_normal((3, 1, 4, 4)).astype(np.float32),
+        }
+        with SharedArrayStore(arrays) as store:
+            assert set(store.refs) == set(arrays)
+            for name, array in arrays.items():
+                view = resolve_shared_array(store.refs[name])
+                np.testing.assert_array_equal(view, array)
+                assert view.dtype == array.dtype
+                assert not view.flags.writeable
+
+    def test_refs_are_picklable(self):
+        with SharedArrayStore({"x": np.arange(6).reshape(2, 3)}) as store:
+            restored = pickle.loads(pickle.dumps(store.refs["x"]))
+            assert restored == store.refs["x"]
+            np.testing.assert_array_equal(
+                resolve_shared_array(restored), np.arange(6).reshape(2, 3)
+            )
+
+    def test_close_unlinks_segment(self):
+        from multiprocessing import shared_memory
+
+        store = SharedArrayStore({"x": np.ones(4, dtype=np.float32)})
+        name = store.name
+        store.close()
+        store.close()  # idempotent
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_del_safety_net_unlinks_segment(self):
+        from multiprocessing import shared_memory
+
+        store = SharedArrayStore({"x": np.ones(4, dtype=np.float32)})
+        name = store.name
+        del store
+        import gc
+
+        gc.collect()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_lease_is_context_manager(self):
+        from multiprocessing import shared_memory
+
+        from repro.fl.executor import _attach_shared_params
+
+        vector = np.arange(16, dtype=np.float32)
+        with SharedParamsLease(vector) as lease:
+            name = lease.ref.name
+            np.testing.assert_array_equal(_attach_shared_params(lease.ref), vector)
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_shard_ref_resolves_both_arrays(self):
+        images = np.full((2, 1, 3, 3), 7.0, dtype=np.float32)
+        labels = np.array([1, 2], dtype=np.int64)
+        with SharedArrayStore({"i": images, "l": labels}) as store:
+            ref = ShardRef(images=store.refs["i"], labels=store.refs["l"])
+            got_images, got_labels = ref.resolve()
+            np.testing.assert_array_equal(got_images, images)
+            np.testing.assert_array_equal(got_labels, labels)
+
+    def test_persistent_ref_survives_param_round_attaches(self):
+        """Per-round param segments must not evict the shard store mapping."""
+        images = np.arange(8, dtype=np.float32)
+        with SharedArrayStore({"i": images}, persistent=True) as store:
+            first = resolve_shared_array(store.refs["i"])
+            for _ in range(3):  # three "rounds" of parameter leases
+                with SharedParamsLease(np.ones(4, dtype=np.float32)) as lease:
+                    from repro.fl.executor import _attach_shared_params
+
+                    _attach_shared_params(lease.ref)
+            again = resolve_shared_array(store.refs["i"])
+            np.testing.assert_array_equal(again, images)
+            assert np.shares_memory(first, again)
+
+
+def _fanout_square(x):
+    return x * x
+
+
+register_fanout_fn("tests.test_fl_executor:square", _fanout_square)
+
+
+class TestFanoutRegistry:
+    """The named-work registry behind ParallelExecutor.map_fn."""
+
+    def test_resolve_returns_registered_fn(self):
+        assert resolve_fanout_fn("tests.test_fl_executor:square") is _fanout_square
+
+    def test_reregistering_same_fn_is_noop(self):
+        register_fanout_fn("tests.test_fl_executor:square", _fanout_square)
+
+    def test_conflicting_registration_raises(self):
+        with pytest.raises(ValueError):
+            register_fanout_fn("tests.test_fl_executor:square", lambda x: x)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            resolve_fanout_fn("tests.test_fl_executor:no-such-fn")
+
+    def test_import_on_demand_resolution(self):
+        # The module:label convention lets a fresh process resolve names by
+        # importing the module; refd's worker fn registers itself on import.
+        assert resolve_fanout_fn("repro.defenses.refd:evaluate_update") is not None
+
+    def test_fanout_call_roundtrips_through_pickle(self):
+        call = FanoutCall(name="tests.test_fl_executor:square", payload=7)
+        assert run_fanout_call(pickle.loads(pickle.dumps(call))) == 49
+
+    def test_serial_and_thread_map_fn_accept_names(self):
+        assert SerialExecutor().map_fn("tests.test_fl_executor:square", [1, 2, 3]) == [1, 4, 9]
+        with ThreadedExecutor(workers=2) as executor:
+            assert executor.map_fn("tests.test_fl_executor:square", [1, 2, 3]) == [1, 4, 9]
+
+    def test_process_map_fn_runs_registered_names_on_the_pool(self):
+        with ParallelExecutor(workers=2) as executor:
+            assert executor.supports_generic_fanout
+            assert executor.map_fn("tests.test_fl_executor:square", list(range(6))) == [
+                x * x for x in range(6)
+            ]
+            assert executor.fanout_calls == 6
+
+    def test_process_map_fn_falls_back_to_serial_for_closures(self):
+        captured = 3
+        with ParallelExecutor(workers=2) as executor:
+            assert executor.map_fn(lambda x: x + captured, [1, 2]) == [4, 5]
+            assert executor.fanout_calls == 0
+
+    def test_process_map_fn_unknown_name_fails_fast(self):
+        with ParallelExecutor(workers=2) as executor:
+            with pytest.raises(KeyError):
+                executor.map_fn("tests.test_fl_executor:no-such-fn", [1])
+
+
+class TestShardStoreWiring:
+    """The simulation publishes shards once and tasks reference them."""
+
+    def _process_simulation(self, **overrides):
+        config = smoke_scale(num_rounds=1, **overrides)
+        return build_simulation(config, executor=ParallelExecutor(workers=2))
+
+    def test_process_tasks_carry_shard_refs_not_arrays(self):
+        simulation = self._process_simulation()
+        try:
+            for client in simulation.benign_clients.values():
+                assert client.shard_ref is not None
+                task = client.make_task(simulation.server.distribute(), 0)
+                assert task.images is None and task.labels is None
+                assert task.shard_ref is not None
+                images, labels = task.resolve_arrays()
+                expected_images, expected_labels = client.dataset.arrays()
+                np.testing.assert_array_equal(images, expected_images)
+                np.testing.assert_array_equal(labels, expected_labels)
+        finally:
+            simulation.close()
+
+    def test_process_task_pickle_contains_no_shard_arrays(self):
+        """Acceptance: the dispatched payload ships refs, not image tensors."""
+        import dataclasses
+
+        simulation = self._process_simulation()
+        try:
+            client = next(iter(simulation.benign_clients.values()))
+            params = simulation.server.distribute()
+            task = client.make_task(params, 0)
+            with SharedParamsLease(params) as lease:
+                dispatched = dataclasses.replace(
+                    task, global_params=None, params_ref=lease.ref
+                )
+                dispatched_bytes = len(pickle.dumps(dispatched))
+            client.shard_ref = None
+            inline = client.make_task(params, 0)
+            inline_bytes = len(pickle.dumps(inline))
+            shard_nbytes = sum(a.nbytes for a in client.dataset.arrays())
+            # The dispatched task must be smaller than the arrays it no
+            # longer carries, and orders of magnitude below the inline task.
+            assert dispatched_bytes < 4096
+            assert dispatched_bytes < shard_nbytes
+            assert inline_bytes > dispatched_bytes + shard_nbytes // 2
+        finally:
+            simulation.close()
+
+    def test_serial_simulation_keeps_inline_arrays(self):
+        config = smoke_scale(num_rounds=1)
+        simulation = build_simulation(config)
+        try:
+            client = next(iter(simulation.benign_clients.values()))
+            assert client.shard_ref is None
+            task = client.make_task(simulation.server.distribute(), 0)
+            assert task.images is not None and task.shard_ref is None
+        finally:
+            simulation.close()
+
+    def test_shared_memory_opt_out_keeps_inline_arrays(self):
+        config = smoke_scale(num_rounds=1)
+        executor = ParallelExecutor(workers=2, use_shared_memory=False)
+        simulation = build_simulation(config, executor=executor)
+        try:
+            assert not executor.supports_shard_store
+            client = next(iter(simulation.benign_clients.values()))
+            assert client.shard_ref is None
+        finally:
+            simulation.close()
+
+    def test_close_unlinks_shard_store(self):
+        from multiprocessing import shared_memory
+
+        simulation = self._process_simulation()
+        name = simulation._shard_store.name
+        simulation.close()
+        assert simulation._shard_store is None
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_reference_arrays_published_for_refd(self):
+        simulation = self._process_simulation(attack="lie", defense="refd")
+        try:
+            ref = simulation.server.reference_ref
+            assert ref is not None
+            images, labels = ref.resolve()
+            expected_images, expected_labels = simulation.server.reference_dataset.arrays()
+            np.testing.assert_array_equal(images, expected_images)
+            np.testing.assert_array_equal(labels, expected_labels)
+        finally:
+            simulation.close()
 
 
 class TestDeterminism:
@@ -172,6 +426,29 @@ class TestDeterminism:
         executor = ParallelExecutor(workers=4)
         parallel = _run_with(executor)
         assert executor.shm_rounds > 0  # the shm fast path actually ran
+        assert _records_signature(serial) == _records_signature(parallel)
+        np.testing.assert_array_equal(serial.final_params, parallel.final_params)
+
+    def test_process_refd_fanout_matches_serial(self):
+        """Registry fan-out + shard store: REFD rounds are bit-identical."""
+        config = smoke_scale(attack="lie", defense="refd", num_rounds=2)
+        with build_simulation(config) as simulation:
+            serial = simulation.run(2)
+            serial_reports = [
+                (r.client_id, r.balance, r.confidence, r.score)
+                for r in simulation.server.defense.last_reports
+            ]
+        executor = ParallelExecutor(workers=2)
+        with build_simulation(config, executor=executor) as simulation:
+            parallel = simulation.run(2)
+            parallel_reports = [
+                (r.client_id, r.balance, r.confidence, r.score)
+                for r in simulation.server.defense.last_reports
+            ]
+        assert executor.shm_rounds > 0
+        assert executor.shard_rounds > 0
+        assert executor.fanout_calls > 0  # D-scores went through the pool
+        assert serial_reports == parallel_reports
         assert _records_signature(serial) == _records_signature(parallel)
         np.testing.assert_array_equal(serial.final_params, parallel.final_params)
 
