@@ -83,6 +83,11 @@ CHECK_THRESHOLDS = {
     # CI runners where dispatch overhead dominates; multi-core machines see
     # > 1x.
     "refd_fanout": 0.25,
+    # Overhead bound for a *correctness* fix: the exact float64 distance
+    # plane is necessarily slower than the float32 BLAS Gram trick it
+    # replaced (which catastrophically cancelled on near-duplicate
+    # updates, see bench_distance_block); ~0.05x measured, bound at 0.02x.
+    "distance_block": 0.02,
     "e2e_round": 1.2,
 }
 
@@ -296,6 +301,65 @@ def bench_flat_params(repeats: int) -> Dict[str, float]:
         "speedup": legacy / current,
         "legacy_nbytes": int(_legacy_get_flat_params(model).nbytes),
         "current_nbytes": int(get_flat_params(model).nbytes),
+    }
+
+
+def _legacy_gram_distance_scores(matrix: np.ndarray, num_malicious: int) -> np.ndarray:
+    """Pre-fix ``krum_scores``: Gram-trick distances in the matrix dtype.
+
+    Kept verbatim as the baseline for the ``distance_block`` metric.  Fast
+    (one BLAS GEMM) but numerically broken: for near-duplicate float32
+    updates the ``‖x‖²+‖y‖²−2x·y`` expansion cancels below float32 eps and
+    the scores are noise — see ``repro.defenses.distances``.
+    """
+    n = matrix.shape[0]
+    neighbourhood = max(n - num_malicious - 2, 1) if n >= 3 else max(n - 1, 1)
+    squared_norms = (matrix ** 2).sum(axis=1)
+    distances = squared_norms[:, None] + squared_norms[None, :] - 2.0 * matrix @ matrix.T
+    np.fill_diagonal(distances, np.inf)
+    distances = np.maximum(distances, 0.0)
+    return np.sort(distances, axis=1)[:, :neighbourhood].sum(axis=1)
+
+
+def bench_distance_block(repeats: int) -> Dict[str, float]:
+    """Defense distance plane vs the legacy float32 Gram trick.
+
+    10 updates × 100k float32 parameters — the paper's round shape.  The
+    legacy leg is the pre-fix Gram expansion (one BLAS GEMM in float32);
+    the current leg is the exact float64 row-block kernel.  The "speedup"
+    is expected *below* 1: this metric is an overhead bound documenting the
+    price of correct distances, plus a cancellation probe recording how
+    wrong the legacy kernel is on a converged (near-duplicate) round.
+    """
+    from repro.defenses import krum_scores
+
+    rng = np.random.default_rng(0)
+    n, dim = 10, 100_000
+    base = rng.standard_normal(dim)
+    base *= 100.0 / np.linalg.norm(base)
+    # Converged-round geometry: updates ~1e-3 apart at ‖x‖ ≈ 1e2, so the
+    # true squared distances (~1e-6) sit below eps32·‖x‖² and the Gram
+    # expansion cancels to clipped noise.
+    deltas = rng.standard_normal((n, dim))
+    deltas *= 5e-4 / np.linalg.norm(deltas, axis=1, keepdims=True)
+    matrix = (base[None, :] + deltas).astype(np.float32)
+
+    legacy = _best_of(lambda: _legacy_gram_distance_scores(matrix, 2), repeats)
+    current = _best_of(lambda: krum_scores(matrix, 2), repeats)
+
+    truth = krum_scores(matrix.astype(np.float64), 2)
+    legacy_scores = _legacy_gram_distance_scores(matrix, 2)
+    current_scores = krum_scores(matrix, 2)
+    return {
+        "legacy_s": legacy,
+        "current_s": current,
+        "speedup": legacy / current,
+        "legacy_max_rel_error": float(
+            np.max(np.abs(legacy_scores - truth) / np.abs(truth))
+        ),
+        "current_max_rel_error": float(
+            np.max(np.abs(current_scores - truth) / np.abs(truth))
+        ),
     }
 
 
@@ -592,6 +656,7 @@ def run_suite(repeats: int = 25, include_dispatch: bool = True, include_e2e: boo
     results["conv_step_all_grads"] = bench_conv_step_all_grads(repeats)
     results["flat_roundtrip"] = bench_flat_params(repeats)
     results["refd_scoring"] = bench_refd_scoring(max(3, repeats // 5))
+    results["distance_block"] = bench_distance_block(max(3, repeats // 5))
     if include_dispatch:
         results["round_dispatch"] = bench_round_dispatch(repeats)
         results["shard_broadcast"] = bench_shard_broadcast()
@@ -608,7 +673,7 @@ def _aggregate_speedups(results) -> Dict[str, float]:
         if metric in results:
             speedups = [case["speedup"] for case in results[metric].values()]
             headline[metric] = float(np.exp(np.mean(np.log(speedups))))
-    for metric in ("flat_roundtrip", "refd_scoring"):
+    for metric in ("flat_roundtrip", "refd_scoring", "distance_block"):
         if metric in results:
             headline[metric] = float(results[metric]["speedup"])
     if "round_dispatch" in results:
@@ -644,7 +709,7 @@ def render_table(results, headline) -> str:
                     f"{numbers['speedup']:.2f}x",
                 ]
             )
-    for metric in ("flat_roundtrip", "refd_scoring"):
+    for metric in ("flat_roundtrip", "refd_scoring", "distance_block"):
         if metric in results:
             numbers = results[metric]
             rows.append(
@@ -758,6 +823,12 @@ def test_hotpath_kernels_beat_legacy(report):
     assert headline["conv_bwd_params"] >= 1.5
     assert headline["flat_roundtrip"] > 1.0
     assert results["flat_roundtrip"]["legacy_nbytes"] == 2 * results["flat_roundtrip"]["current_nbytes"]
+    # The distance plane trades speed for correctness: it must stay within
+    # the overhead bound while the legacy Gram trick is orders of magnitude
+    # wrong on the near-duplicate probe and the plane is float64-exact.
+    assert headline["distance_block"] >= 0.02
+    assert results["distance_block"]["legacy_max_rel_error"] > 0.5
+    assert results["distance_block"]["current_max_rel_error"] < 1e-9
 
 
 if __name__ == "__main__":

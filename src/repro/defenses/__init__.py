@@ -3,8 +3,21 @@
 from .adaptive_refd import AdaptiveRefd
 from .base import Defense, NoDefense
 from .bulyan import Bulyan
-from .foolsgold import FoolsGold
-from .krum import Krum, MultiKrum, krum_scores
+from .distances import (
+    COSINE_BLOCK_FANOUT,
+    DISTANCE_BLOCK_FANOUT,
+    pairwise_cosine_similarities,
+    pairwise_sq_distances,
+)
+from .foolsgold import FoolsGold, pardoned_similarities
+from .krum import (
+    Krum,
+    MultiKrum,
+    iterative_krum_selection,
+    krum_neighbourhood_size,
+    krum_scores,
+    krum_scores_from_distances,
+)
 from .norm_clipping import NormClipping
 from .refd import DScoreReport, Refd, balance_value, confidence_value, d_score
 from .registry import DEFENSE_REGISTRY, available_defenses, build_defense
@@ -16,6 +29,14 @@ __all__ = [
     "Krum",
     "MultiKrum",
     "krum_scores",
+    "krum_scores_from_distances",
+    "krum_neighbourhood_size",
+    "iterative_krum_selection",
+    "pairwise_sq_distances",
+    "pairwise_cosine_similarities",
+    "pardoned_similarities",
+    "DISTANCE_BLOCK_FANOUT",
+    "COSINE_BLOCK_FANOUT",
     "Bulyan",
     "Median",
     "TrimmedMean",

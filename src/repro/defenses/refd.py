@@ -36,7 +36,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..fl.aggregation import fedavg
-from ..fl.executor import SharedArrayRef, register_fanout_fn, resolve_shared_array
+from ..fl.executor import (
+    SharedArrayRef,
+    pooled_fanout_ready,
+    register_fanout_fn,
+    resolve_shared_array,
+)
 from ..fl.types import AggregationResult, DefenseContext, ModelUpdate
 from ..nn.serialization import set_flat_params
 from .base import Defense
@@ -243,11 +248,7 @@ class Refd(Defense):
         from ..fl.training import predict_proba  # local import to avoid cycles
 
         executor = context.executor
-        if (
-            executor is not None
-            and getattr(executor, "supports_generic_fanout", False)
-            and len(updates) > 1
-        ):
+        if executor is not None and len(updates) > 1:
             images_payload: object = images
             reference_ref = getattr(context, "reference_ref", None)
             if (
@@ -255,9 +256,8 @@ class Refd(Defense):
                 and tuple(reference_ref.images.shape) == images.shape
             ):
                 images_payload = reference_ref.images
-            if (
-                isinstance(images_payload, SharedArrayRef)
-                or not getattr(executor, "fanout_requires_pickling", False)
+            if pooled_fanout_ready(
+                executor, payload_by_ref=isinstance(images_payload, SharedArrayRef)
             ):
                 payloads = [
                     (context.model_factory, update.parameters, images_payload)

@@ -48,7 +48,10 @@ ProgressFn = Callable[[str], None]
 #: Bump when an algorithm change invalidates previously cached results —
 #: the version is mixed into :func:`config_hash`, so old artifacts simply
 #: stop matching (the cache is config-keyed, not code-keyed).
-CACHE_VERSION = 1
+#: 2: float64 defense distance plane (Krum/Bulyan selection changes on
+#: converged rounds), Bulyan median-closest coordinate rule, FoolsGold
+#: pardoning.
+CACHE_VERSION = 2
 
 
 def config_hash(config: ExperimentConfig) -> str:

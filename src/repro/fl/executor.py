@@ -40,8 +40,12 @@ picklable work functions; callers pass the *name* to
 :meth:`ClientExecutor.map_fn` and the process backend ships tiny
 :class:`FanoutCall` envelopes to its workers, which resolve the name in
 their own registry (importing ``"package.module:fn"``-style names on
-demand).  REFD's per-update D-score inference uses this to fan out across
-processes; see :mod:`repro.defenses.refd`.
+demand).  REFD's per-update D-score inference fans out this way
+(:mod:`repro.defenses.refd`), as do the Krum/Bulyan/FoolsGold distance and
+cosine row blocks of the defense distance plane
+(:mod:`repro.defenses.distances`), whose stacked update matrix is published
+once per call through :meth:`ClientExecutor.publish_arrays` instead of
+being pickled into every envelope.
 
 Determinism contract
 --------------------
@@ -103,6 +107,7 @@ __all__ = [
     "register_fanout_fn",
     "resolve_fanout_fn",
     "run_fanout_call",
+    "pooled_fanout_ready",
     "run_client_task",
     "ClientExecutor",
     "SerialExecutor",
@@ -385,6 +390,23 @@ def run_fanout_call(call: FanoutCall):
     return resolve_fanout_fn(call.name)(call.payload)
 
 
+def pooled_fanout_ready(executor, payload_by_ref: bool = True) -> bool:
+    """Whether defense-side work should hand a batch to ``executor.map_fn``.
+
+    ``payload_by_ref`` states whether the caller can ship its large shared
+    payloads by shared-memory reference: backends whose fan-out *pickles*
+    its work items (:attr:`ClientExecutor.fanout_requires_pickling`) are
+    only worth using when that hand-off is possible — inlining a large
+    array into every envelope re-ships it once per item, which a fused
+    serial loop beats.
+    """
+    if executor is None or not getattr(executor, "supports_generic_fanout", False):
+        return False
+    if getattr(executor, "fanout_requires_pickling", False) and not payload_by_ref:
+        return False
+    return True
+
+
 # ----------------------------------------------------------------------
 # Client tasks
 # ----------------------------------------------------------------------
@@ -495,6 +517,18 @@ class ClientExecutor:
             fn = resolve_fanout_fn(fn)
         return [fn(item) for item in items]
 
+    def publish_arrays(self, arrays: Mapping[str, np.ndarray]) -> Optional[SharedArrayStore]:
+        """Publish arrays for by-reference fan-out payloads, when worthwhile.
+
+        Returns a live :class:`SharedArrayStore` (caller owns it and must
+        :meth:`~SharedArrayStore.close` it once the fan-out completes) or
+        ``None`` on backends that share the parent's address space — there
+        is nothing to ship, callers just put the array into the payload.
+        The defense distance plane uses this to ship the round's stacked
+        update matrix once instead of once per row block.
+        """
+        return None
+
     def close(self) -> None:
         """Release any pooled workers (idempotent)."""
 
@@ -588,6 +622,10 @@ class ParallelExecutor(ClientExecutor):
         inline image/label arrays."""
         self.fanout_calls = 0
         """Number of registered-name work items shipped through :meth:`map_fn`."""
+        self.published_stores = 0
+        """Number of per-call array publications served to defense-side
+        fan-out through :meth:`publish_arrays` (e.g. distance-plane update
+        matrices)."""
         self._pool: Optional[ProcessPoolExecutor] = None
 
     @property
@@ -659,6 +697,16 @@ class ParallelExecutor(ClientExecutor):
         results = list(self._ensure_pool().map(run_fanout_call, calls))
         self.fanout_calls += len(calls)
         return results
+
+    def publish_arrays(self, arrays: Mapping[str, np.ndarray]) -> Optional[SharedArrayStore]:
+        if not self.use_shared_memory:
+            return None
+        try:
+            store = SharedArrayStore(arrays, persistent=False)
+        except (ImportError, OSError):  # pragma: no cover - no POSIX shm
+            return None
+        self.published_stores += 1
+        return store
 
     def close(self) -> None:
         if self._pool is not None:

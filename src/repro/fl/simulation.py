@@ -87,7 +87,12 @@ class FederatedSimulation:
         round-invariant data shard (and the defense's reference arrays) in
         a once-per-simulation shared-memory
         :class:`~repro.fl.executor.SharedArrayStore`, so per-round task
-        payloads stay tiny.
+        payloads stay tiny.  Defense matrices that change every round (the
+        distance plane's stacked update matrix, REFD's parameter vectors)
+        are not stored here: the executor publishes them per call through
+        :meth:`~repro.fl.executor.ClientExecutor.publish_arrays` and the
+        per-round parameter lease, so the store holds only round-invariant
+        data.
     """
 
     def __init__(

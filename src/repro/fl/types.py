@@ -105,10 +105,15 @@ class DefenseContext:
     """Server-side information available to a defense when aggregating.
 
     ``executor`` is the round's client executor (when the simulation runs
-    one); defenses with per-update work (REFD scoring) may fan out across
+    one); defenses with per-update or per-row-block work may fan out across
     it via :meth:`~repro.fl.executor.ClientExecutor.map_fn`, passing a name
     registered with :func:`~repro.fl.executor.register_fanout_fn` so the
-    process backend can ship the work to its pool.
+    process backend can ship the work to its pool.  REFD's D-score
+    inference and the Krum/Bulyan/FoolsGold distance plane
+    (:mod:`repro.defenses.distances`) both ride this path; the distance
+    plane additionally publishes the round's stacked update matrix once via
+    :meth:`~repro.fl.executor.ClientExecutor.publish_arrays` so process
+    workers read it from shared memory instead of per-block pickles.
 
     ``reference_ref`` is the shared-memory publication of the reference
     dataset's ``(images, labels)`` arrays (a

@@ -313,6 +313,36 @@ class TestFanoutRegistry:
                 executor.map_fn("tests.test_fl_executor:no-such-fn", [1])
 
 
+class TestPublishArrays:
+    """Per-call array publication for by-reference fan-out payloads."""
+
+    def test_serial_and_thread_publish_nothing(self):
+        arrays = {"m": np.ones((2, 3), dtype=np.float32)}
+        assert SerialExecutor().publish_arrays(arrays) is None
+        with ThreadedExecutor(workers=1) as executor:
+            assert executor.publish_arrays(arrays) is None
+
+    def test_process_publishes_and_counts(self):
+        matrix = np.arange(12, dtype=np.float64).reshape(3, 4)
+        executor = ParallelExecutor(workers=1)
+        store = executor.publish_arrays({"matrix": matrix})
+        try:
+            assert store is not None
+            assert executor.published_stores == 1
+            np.testing.assert_array_equal(
+                resolve_shared_array(store.refs["matrix"]), matrix
+            )
+            assert not store.refs["matrix"].persistent
+        finally:
+            store.close()
+            executor.close()
+
+    def test_shared_memory_opt_out_publishes_nothing(self):
+        executor = ParallelExecutor(workers=1, use_shared_memory=False)
+        assert executor.publish_arrays({"m": np.ones(4)}) is None
+        assert executor.published_stores == 0
+
+
 class TestShardStoreWiring:
     """The simulation publishes shards once and tasks reference them."""
 
@@ -449,6 +479,31 @@ class TestDeterminism:
         assert executor.shard_rounds > 0
         assert executor.fanout_calls > 0  # D-scores went through the pool
         assert serial_reports == parallel_reports
+        assert _records_signature(serial) == _records_signature(parallel)
+        np.testing.assert_array_equal(serial.final_params, parallel.final_params)
+
+    def test_process_krum_distance_fanout_matches_serial(self):
+        """Distance-plane fan-out: Krum rounds are bit-identical on the pool."""
+        config = smoke_scale(attack="lie", defense="krum", num_rounds=2)
+        with build_simulation(config) as simulation:
+            serial = simulation.run(2)
+        executor = ParallelExecutor(workers=2)
+        with build_simulation(config, executor=executor) as simulation:
+            parallel = simulation.run(2)
+        assert executor.fanout_calls > 0  # distance blocks went through the pool
+        assert executor.published_stores > 0  # one matrix publication per round
+        assert _records_signature(serial) == _records_signature(parallel)
+        np.testing.assert_array_equal(serial.final_params, parallel.final_params)
+
+    @pytest.mark.slow
+    def test_process_bulyan_distance_fanout_matches_serial(self):
+        config = smoke_scale(attack="lie", defense="bulyan", num_rounds=2)
+        with build_simulation(config) as simulation:
+            serial = simulation.run(2)
+        executor = ParallelExecutor(workers=2)
+        with build_simulation(config, executor=executor) as simulation:
+            parallel = simulation.run(2)
+        assert executor.fanout_calls > 0
         assert _records_signature(serial) == _records_signature(parallel)
         np.testing.assert_array_equal(serial.final_params, parallel.final_params)
 
