@@ -1,0 +1,52 @@
+"""Benchmarks of the multi-host dispatch layer.
+
+Not a paper artifact: these quantify what the grid-level dataset store saves
+per cell (attach-and-memoize vs regenerating the synthetic dataset) and what
+a claim-lease acquire/release cycle costs, so the coordination overhead of a
+sharded sweep stays visibly negligible next to cell runtime.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import smoke_scale
+from repro.experiments.dispatch import (
+    ClaimLedger,
+    DatasetBroker,
+    load_task_for,
+    resolve_task,
+)
+
+
+def _config():
+    return smoke_scale("fashion-mnist", attack="lie", defense="mkrum")
+
+
+def test_dataset_regeneration_per_cell(benchmark):
+    """What every cell of a sweep used to pay: a full dataset generation."""
+    config = _config()
+    task = benchmark(load_task_for, config)
+    assert len(task.train.images) == config.train_size
+
+
+def test_dataset_attach_from_grid_store(benchmark):
+    """What a cell pays under the grid-level store: a registry lookup onto
+    read-only views of the once-published segment."""
+    config = _config()
+    with DatasetBroker(use_shared_memory=True) as broker:
+        broker.publish([config])
+        task = benchmark(resolve_task, config)
+        assert task is not None and not task.train.images.flags.writeable
+
+
+def test_claim_acquire_release_cycle(benchmark, tmp_path):
+    """One lease acquire + release — the per-cell coordination overhead of a
+    multi-runner sweep."""
+    ledger = ClaimLedger(tmp_path, "bench-runner", ttl=60)
+    counter = iter(range(10_000_000))
+
+    def cycle():
+        cell = f"cell{next(counter)}"
+        assert ledger.try_claim(cell)
+        ledger.release(cell)
+
+    benchmark(cycle)

@@ -16,6 +16,13 @@ worker processes, caching each finished cell on disk::
     python -m repro grid --attacks dfa-r,dfa-g --defenses mkrum,bulyan \
         --betas 0.1,0.5 --workers 4 --cache-dir .repro-cache
 
+Split the same grid across several hosts sharing one cache directory
+(cooperative claim leases; see ``repro.experiments.dispatch``), or
+statically with ``--shard i/n``::
+
+    python -m repro grid --attacks dfa-r,dfa-g --defenses mkrum,bulyan \
+        --betas 0.1,0.5 --workers 4 --cache-dir /shared/cache --claim-ttl 900
+
 List the available attacks, defenses, datasets and scenarios::
 
     python -m repro list
@@ -24,14 +31,18 @@ List the available attacks, defenses, datasets and scenarios::
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
 from .attacks import available_attacks
 from .data.synthetic import DATASET_FACTORIES
 from .defenses import available_defenses
 from .experiments import ExperimentRunner, benchmark_scale, paper_scale, scenarios, smoke_scale
-from .experiments.grid import GridRunner, expand_grid
+from .experiments import dispatch
+from .experiments.grid import GridExecutionError, GridRunner, expand_grid
 from .experiments.io import save_results, write_summary_csv
 from .utils import format_table
 
@@ -119,6 +130,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         default=None,
         help="directory of per-scenario JSON artifacts; re-runs skip cached cells",
+    )
+    grid.add_argument(
+        "--claim-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="cooperative multi-runner dispatch: claim cells via <hash>.claim "
+        "lease files in the shared --cache-dir, skipping cells a live peer "
+        "holds and stealing leases staler than this TTL",
+    )
+    grid.add_argument(
+        "--runner-id",
+        default=None,
+        help="identity written into claim leases (default: host-pid-nonce)",
+    )
+    grid.add_argument(
+        "--shard",
+        default=None,
+        metavar="I/N",
+        help="static partition fallback: only run cells whose config hash "
+        "maps to shard I of N (0-based), e.g. --shard 0/4",
+    )
+    grid.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="with --claim-ttl: exit once every unclaimed cell is done "
+        "instead of waiting for peers' in-flight cells to land in the cache",
+    )
+    grid.add_argument(
+        "--stats-json",
+        default=None,
+        metavar="PATH",
+        help="write this run's GridStats as JSON (claim/steal/skip counters "
+        "included) for scripting and CI assertions",
     )
     grid.add_argument("--output", default=None, help="basename for .json/.csv result files")
 
@@ -235,21 +280,67 @@ def _run_grid(args: argparse.Namespace) -> int:
     overrides = {}
     if args.rounds is not None:
         overrides["num_rounds"] = args.rounds
+    if args.claim_ttl is not None and args.cache_dir is None:
+        parser.error("--claim-ttl needs --cache-dir (leases live next to the artifacts)")
+    if args.claim_ttl is not None and args.claim_ttl <= 0:
+        parser.error("--claim-ttl must be positive")
+    shard = None
+    if args.shard is not None:
+        try:
+            shard = dispatch.parse_shard(args.shard)
+        except ValueError as error:
+            parser.error(str(error))
     scenario_list = expand_grid(scale=scale, **axes, **overrides)
     print(f"grid: {len(scenario_list)} scenarios, workers={args.workers}, "
           f"cache={args.cache_dir or 'disabled'}")
-    runner = GridRunner(workers=args.workers, cache_dir=args.cache_dir, progress=print)
-    results = runner.run(scenario_list)
+    runner = GridRunner(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        progress=print,
+        runner_id=args.runner_id,
+        claim_ttl=args.claim_ttl,
+        shard=shard,
+        wait_for_peers=not args.no_wait,
+    )
+    exit_code = 0
+    try:
+        results = runner.run(scenario_list)
+    except GridExecutionError as error:
+        # GridBaselineError is a subclass: baseline-starved cells appear in
+        # the failure list and completed siblings are still salvaged.
+        results = error.results
+        print(f"\nFAILED cells ({len(error.failures)}):")
+        for label, message in sorted(error.failures.items()):
+            print(f"  {label}: {message}")
+        exit_code = 1
     stats = runner.last_stats
     print()
     for label, result in results:
         _print_result_line(label, result)
-    print(
+    summary = (
         f"\n{stats.total} scenarios: {stats.cache_hits} cached, {stats.executed} executed "
         f"(+{stats.baselines_executed} baselines) in {stats.wall_seconds:.1f}s"
     )
+    if stats.failed:
+        summary += f"; {stats.failed} failed"
+    if args.claim_ttl is not None:
+        summary += (
+            f"\nclaims: {stats.claims_acquired} acquired, {stats.claims_stolen} stolen, "
+            f"{stats.claims_expired} expired, {stats.cells_skipped_claimed} peer-claimed, "
+            f"{stats.baselines_awaited} baselines awaited"
+        )
+    if args.shard is not None:
+        summary += f"\nshard {args.shard}: {stats.cells_skipped_shard} cells left to other shards"
+    if stats.dataset_publications:
+        summary += f"\ndatasets published once per sweep: {stats.dataset_publications}"
+    print(summary)
+    if args.stats_json:
+        path = Path(args.stats_json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(dataclasses.asdict(stats), indent=2))
+        print(f"stats written to {path}")
     _save_if_requested(results, args.output)
-    return 0
+    return exit_code
 
 
 def _run_list(_: argparse.Namespace) -> int:

@@ -1,7 +1,16 @@
 """Experiment harness: configuration, runner, grid sweeps, presets and I/O."""
 
 from .config import ExperimentConfig
-from .grid import GridRunner, GridSpec, GridStats, config_hash, expand_grid, run_grid
+from .grid import (
+    GridBaselineError,
+    GridExecutionError,
+    GridRunner,
+    GridSpec,
+    GridStats,
+    config_hash,
+    expand_grid,
+    run_grid,
+)
 from .io import load_results, result_from_dict, result_to_dict, save_results, write_summary_csv
 from .presets import benchmark_scale, paper_scale, smoke_scale
 from .runner import ExperimentResult, ExperimentRunner, build_simulation, run_experiment
@@ -11,6 +20,8 @@ __all__ = [
     "ExperimentConfig",
     "ExperimentResult",
     "ExperimentRunner",
+    "GridBaselineError",
+    "GridExecutionError",
     "GridRunner",
     "GridSpec",
     "GridStats",

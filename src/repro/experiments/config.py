@@ -93,11 +93,14 @@ class ExperimentConfig:
             malicious_fraction=0.0,
         )
 
-    def baseline_key(self) -> Tuple:
-        """Hashable key identifying the clean baseline this config maps to.
+    def dataset_key(self) -> Tuple:
+        """The fields that determine the generated dataset, and nothing else.
 
-        Two configurations that only differ in attack/defense settings share
-        the same clean baseline run, so benchmark sweeps can cache it.
+        The single source of truth for "same dataset": grid-level dataset
+        sharing (:mod:`repro.experiments.dispatch`) publishes one store per
+        distinct key, and :meth:`baseline_key` builds on it.  Any new
+        config field that changes what ``load_dataset`` produces must be
+        added here.
         """
         return (
             self.dataset,
@@ -105,6 +108,15 @@ class ExperimentConfig:
             self.test_size,
             self.image_size,
             self.dataset_seed,
+        )
+
+    def baseline_key(self) -> Tuple:
+        """Hashable key identifying the clean baseline this config maps to.
+
+        Two configurations that only differ in attack/defense settings share
+        the same clean baseline run, so benchmark sweeps can cache it.
+        """
+        return self.dataset_key() + (
             self.architecture,
             self.num_clients,
             self.clients_per_round,

@@ -1,0 +1,486 @@
+"""Cooperative multi-host work distribution over the content-addressed cache.
+
+The grid cache (:mod:`repro.experiments.grid`) keys every finished cell by a
+content hash of its configuration, so the artifacts themselves are already
+host-agnostic: any runner that points at the same ``cache_dir`` (a shared
+filesystem or a synced object-store mount) sees the same
+``<hash>.json`` namespace.  This module adds the two pieces that let *N*
+independent hosts split one grid through that directory alone, with no
+coordinator process:
+
+Claim leases
+------------
+A runner claims a pending cell by atomically creating
+``<cache_dir>/<hash>.claim`` (``O_CREAT | O_EXCL``).  The lease carries the
+owner's runner id in its JSON body and uses the file's *mtime* as the
+heartbeat, refreshed with :func:`os.utime` while the owner is alive.  A lease
+whose heartbeat is older than the TTL is *stale*: any runner may expire it by
+atomically renaming it to a tombstone (only one rename can succeed) and then
+re-claiming the cell.  Completed cells release their lease after the result
+artifact lands, so the steady state of a finished sweep is a directory of
+plain ``.json`` artifacts.
+
+The protocol is cooperative, not transactional: if a live owner is wrongly
+presumed dead (TTL shorter than a long GC pause, extreme clock skew between
+hosts and the shared filesystem), a cell can execute twice.  Executions are
+deterministic and artifact writes are atomic, so the duplicate work is wasted
+time, never wrong results.  Pick a TTL comfortably above the worst-case cell
+runtime divided by the heartbeat interval (the grid runner refreshes at
+``ttl / 4``).
+
+Static sharding
+---------------
+:func:`shard_of` deterministically maps a config hash to one of ``n`` shards
+(``int(hash, 16) % n``), giving ``repro grid --shard i/n`` a zero-traffic
+fallback when the cache dir is only synced eventually (e.g. object-store
+replication) and lease files cannot arbitrate in real time.  Shards are
+disjoint and their union covers the grid, but they do not rebalance around
+slow or dead hosts the way leases do.
+
+Grid-level dataset store
+------------------------
+Every cell of a sweep regenerates its dataset from the same
+``(dataset, train/test size, image size, dataset seed)`` tuple.
+:class:`DatasetBroker` hoists that work to grid level: the parent
+materialises each distinct dataset once, publishes its train/test arrays in
+one :class:`~repro.fl.executor.SharedArrayStore` per key, and worker
+processes attach read-only views through the pool initializer
+(:func:`initialize_worker` / :func:`resolve_task`) instead of re-publishing
+per cell — a 50-cell same-dataset sweep ships the dataset exactly once per
+host.  Partitioning stays per-cell: Dirichlet shards are fancy-indexed
+subsets that depend on ``(beta, seed)``, so only the task-level arrays are
+shared.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+import uuid
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Set, Tuple, Union
+
+from ..data.dataset import ArrayDataset
+from ..data.synthetic import SyntheticImageSpec, SyntheticImageTask, load_dataset
+from ..fl.executor import SharedArrayRef, SharedArrayStore, attach_array_store
+from .config import ExperimentConfig
+
+__all__ = [
+    "CLAIM_SUFFIX",
+    "ClaimLedger",
+    "DatasetBroker",
+    "claim_path",
+    "dataset_key",
+    "default_runner_id",
+    "initialize_worker",
+    "load_task_for",
+    "parse_shard",
+    "read_claim",
+    "resolve_task",
+    "shard_of",
+    "worker_dataset_attaches",
+]
+
+PathLike = Union[str, Path]
+
+CLAIM_SUFFIX = ".claim"
+
+
+def default_runner_id() -> str:
+    """A runner id unique across hosts and processes (host-pid-nonce)."""
+    return f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+
+
+def claim_path(cache_dir: PathLike, config_hash: str) -> Path:
+    """Lease-file path for one cell of the cache directory."""
+    return Path(cache_dir) / f"{config_hash}{CLAIM_SUFFIX}"
+
+
+def read_claim(path: PathLike) -> Optional[Dict]:
+    """Read a lease file: its JSON body plus the mtime heartbeat.
+
+    Returns ``None`` when the file is missing.  An unreadable body is
+    reported with ``owner=None`` but keeps the *mtime* heartbeat: exclusive
+    creation and the body write are two separate syscalls, so a peer reading
+    in between sees an empty file — its fresh mtime must protect the
+    newborn lease from being treated as stale and stolen.  A genuinely
+    abandoned corrupt lease ages out through the same TTL as a healthy one.
+    """
+    path = Path(path)
+    try:
+        heartbeat = path.stat().st_mtime
+    except (FileNotFoundError, NotADirectoryError):
+        return None
+    except OSError:
+        # Transient stat failure (NFS ESTALE/EIO): the lease may well belong
+        # to a live owner, so it must read as *fresh* — stealing on an I/O
+        # hiccup would duplicate a running cell.
+        return {"owner": None, "heartbeat": time.time(), "unreadable": True}
+    try:
+        body = json.loads(path.read_text())
+        if not isinstance(body, dict):
+            raise ValueError("claim body must be an object")
+    except (FileNotFoundError, NotADirectoryError):
+        return None
+    except (OSError, ValueError):
+        body = {"owner": None, "unreadable": True}
+    body["heartbeat"] = heartbeat
+    return body
+
+
+class ClaimLedger:
+    """The set of cell leases one runner holds in one cache directory.
+
+    All lease traffic of a :class:`~repro.experiments.grid.GridRunner` goes
+    through a ledger: acquiring (:meth:`try_claim`), heartbeating
+    (:meth:`refresh`), and releasing (:meth:`release` /
+    :meth:`release_all`).  Counters mirror into
+    :class:`~repro.experiments.grid.GridStats` after the run.
+    """
+
+    def __init__(self, cache_dir: PathLike, owner: str, ttl: float) -> None:
+        if ttl <= 0:
+            raise ValueError("claim TTL must be positive")
+        self.cache_dir = Path(cache_dir)
+        self.owner = owner
+        self.ttl = float(ttl)
+        self.held: Dict[str, Path] = {}
+        self._lock = threading.RLock()
+        self._heartbeat_stop: Optional[threading.Event] = None
+        self._heartbeat_thread: Optional[threading.Thread] = None
+        self.acquired = 0
+        """Leases this ledger successfully acquired."""
+        self.stolen = 0
+        """Acquisitions that took over a stale peer lease."""
+        self.expired = 0
+        """Stale peer leases this ledger observed and tombstoned."""
+        self.lost = 0
+        """Held leases that disappeared or changed owner (we were presumed
+        dead by a peer); the affected cell may execute twice."""
+
+    # ------------------------------------------------------------------
+    def _create_exclusive(self, path: Path) -> bool:
+        payload = json.dumps({"owner": self.owner, "acquired_at": time.time()})
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        try:
+            os.write(fd, payload.encode("utf-8"))
+        finally:
+            os.close(fd)
+        return True
+
+    def _expire(self, path: Path) -> bool:
+        """Tombstone a stale lease; only one contending runner can win."""
+        tomb = path.with_name(f"{path.name}.expired-{uuid.uuid4().hex[:8]}")
+        try:
+            os.rename(path, tomb)
+        except (FileNotFoundError, NotADirectoryError, OSError):
+            return False
+        self.expired += 1
+        try:
+            tomb.unlink()
+        except FileNotFoundError:  # pragma: no cover - external cleanup
+            pass
+        return True
+
+    def try_claim(self, config_hash: str) -> bool:
+        """Try to acquire the lease for one cell; ``True`` means we own it.
+
+        A lease we already hold is re-entrant; a live peer lease returns
+        ``False``; a stale lease is expired and re-claimed (losing a steal
+        race to another runner returns ``False``).
+        """
+        with self._lock:
+            path = claim_path(self.cache_dir, config_hash)
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            stealing = False
+            for _ in range(8):  # bounded retries; contention resolves in 1-2
+                if self._create_exclusive(path):
+                    self.acquired += 1
+                    if stealing:
+                        self.stolen += 1
+                    self.held[config_hash] = path
+                    return True
+                claim = read_claim(path)
+                if claim is None:
+                    continue  # released between our attempts; retry the create
+                if claim.get("owner") == self.owner:
+                    self.held[config_hash] = path
+                    return True
+                if time.time() - claim["heartbeat"] <= self.ttl:
+                    return False
+                if not self._expire(path):
+                    return False  # another runner won the steal race
+                stealing = True
+            return False  # pragma: no cover - pathological contention
+
+    def refresh(self) -> None:
+        """Heartbeat every held lease; drop (and count) leases we lost."""
+        with self._lock:
+            for config_hash, path in list(self.held.items()):
+                claim = read_claim(path)
+                if claim is not None and claim.get("unreadable"):
+                    # Transient read failure: a held lease is ours until a
+                    # definitive read says otherwise — keep it and try again
+                    # next beat (skipping one of four beats per TTL is safe).
+                    continue
+                if claim is None or claim.get("owner") != self.owner:
+                    if self.held.pop(config_hash, None) is not None:
+                        self.lost += 1
+                    continue
+                try:
+                    os.utime(path)
+                except FileNotFoundError:  # stolen between read and touch
+                    if self.held.pop(config_hash, None) is not None:
+                        self.lost += 1
+
+    def release(self, config_hash: str) -> None:
+        """Give up one held lease (no-op for leases we do not hold)."""
+        with self._lock:
+            path = self.held.pop(config_hash, None)
+            if path is None:
+                return
+            claim = read_claim(path)
+            if claim is None:
+                return
+            # Unlink when the body confirms our ownership, and also when it
+            # is unreadable (transient I/O or truncation): we tracked the
+            # lease in ``held``, so our own bookkeeping outranks a failed
+            # read — leaving the file behind would orphan a lease in a
+            # finished sweep's cache dir.
+            if claim.get("owner") == self.owner or claim.get("unreadable"):
+                try:
+                    path.unlink()
+                except FileNotFoundError:  # pragma: no cover - stolen meanwhile
+                    pass
+
+    def release_all(self) -> None:
+        """Give up every held lease (crash-path cleanup)."""
+        for config_hash in list(self.held):
+            self.release(config_hash)
+
+    @property
+    def heartbeat_interval(self) -> float:
+        """How often the owner should :meth:`refresh` (a quarter TTL)."""
+        return max(0.05, self.ttl / 4.0)
+
+    def start_heartbeat(self) -> None:
+        """Refresh held leases from a daemon thread every quarter TTL.
+
+        The grid runner's serial path (``workers=1``) executes cells in its
+        own process and cannot call :meth:`refresh` while a cell runs, so a
+        cell longer than the TTL would look dead to peers and be stolen from
+        a live owner; the thread keeps every held lease fresh no matter what
+        the main thread is doing.  Idempotent; stop with
+        :meth:`stop_heartbeat`.
+        """
+        if self._heartbeat_thread is not None:
+            return
+        self._heartbeat_stop = threading.Event()
+
+        def beat() -> None:
+            while not self._heartbeat_stop.wait(self.heartbeat_interval):
+                self.refresh()
+
+        self._heartbeat_thread = threading.Thread(
+            target=beat, name="claim-lease-heartbeat", daemon=True
+        )
+        self._heartbeat_thread.start()
+
+    def stop_heartbeat(self) -> None:
+        """Stop the background heartbeat thread (idempotent)."""
+        if self._heartbeat_thread is None:
+            return
+        self._heartbeat_stop.set()
+        self._heartbeat_thread.join()
+        self._heartbeat_thread = None
+        self._heartbeat_stop = None
+
+
+# ----------------------------------------------------------------------
+# Static sharding
+# ----------------------------------------------------------------------
+def parse_shard(spec: str) -> Tuple[int, int]:
+    """Parse an ``"i/n"`` shard spec into ``(index, count)`` (0-based)."""
+    try:
+        index_text, count_text = spec.split("/", 1)
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise ValueError(f"shard spec must look like 'i/n', got {spec!r}") from None
+    if count < 1 or not 0 <= index < count:
+        raise ValueError(f"shard index must satisfy 0 <= i < n, got {spec!r}")
+    return index, count
+
+
+def shard_of(config_hash: str, num_shards: int) -> int:
+    """Deterministic shard of a config hash: ``int(hash, 16) % n``."""
+    if num_shards < 1:
+        raise ValueError("num_shards must be at least 1")
+    return int(config_hash, 16) % num_shards
+
+
+# ----------------------------------------------------------------------
+# Grid-level dataset store
+# ----------------------------------------------------------------------
+DatasetKey = Tuple
+
+
+def dataset_key(config: ExperimentConfig) -> DatasetKey:
+    """The fields of a config that determine its generated dataset."""
+    return config.dataset_key()
+
+
+def load_task_for(config: ExperimentConfig) -> SyntheticImageTask:
+    """Materialise the dataset task a config describes.
+
+    The one config→``load_dataset`` translation, shared by the broker and
+    the experiment runner, so the field list cannot drift between the two
+    (drift would silently serve one config the other's dataset).
+    """
+    return load_dataset(
+        config.dataset,
+        train_size=config.train_size,
+        test_size=config.test_size,
+        seed=config.dataset_seed,
+        image_size=config.image_size,
+    )
+
+
+#: Worker-process registry of grid-published datasets:
+#: ``dataset_key -> (spec, {array name -> SharedArrayRef} | inline task)``.
+#: Installed by the pool initializer; consulted by :func:`resolve_task`.
+_WORKER_DATASETS: Dict[DatasetKey, Tuple[SyntheticImageSpec, Dict[str, SharedArrayRef]]] = {}
+_WORKER_TASKS: Dict[DatasetKey, SyntheticImageTask] = {}
+_WORKER_ATTACHES = 0
+
+
+def initialize_worker(payload: Dict[DatasetKey, Tuple[SyntheticImageSpec, Dict[str, SharedArrayRef]]]) -> None:
+    """Process-pool initializer: install the grid's dataset publications."""
+    _WORKER_DATASETS.clear()
+    _WORKER_DATASETS.update(payload)
+    _WORKER_TASKS.clear()
+
+
+def _readonly_dataset(images, labels) -> ArrayDataset:
+    dataset = ArrayDataset(images, labels)
+    dataset.images.flags.writeable = False
+    dataset.labels.flags.writeable = False
+    return dataset
+
+
+def resolve_task(config: ExperimentConfig) -> Optional[SyntheticImageTask]:
+    """The grid-published task for a config, or ``None`` when not published.
+
+    Attaches the store's shared-memory segment on first use per
+    ``(worker, dataset)`` and memoizes the assembled task, so every cell a
+    worker executes reuses the same read-only views.
+    """
+    global _WORKER_ATTACHES
+    key = dataset_key(config)
+    task = _WORKER_TASKS.get(key)
+    if task is not None:
+        return task
+    entry = _WORKER_DATASETS.get(key)
+    if entry is None:
+        return None
+    spec, refs = entry
+    arrays = attach_array_store(refs)
+    task = SyntheticImageTask(
+        spec=spec,
+        train=_readonly_dataset(arrays["train/images"], arrays["train/labels"]),
+        test=_readonly_dataset(arrays["test/images"], arrays["test/labels"]),
+    )
+    _WORKER_TASKS[key] = task
+    _WORKER_ATTACHES += 1
+    return task
+
+
+def worker_dataset_attaches() -> int:
+    """How many dataset stores this process attached (per-process counter)."""
+    return _WORKER_ATTACHES
+
+
+class DatasetBroker:
+    """Parent-side owner of the grid's once-per-dataset publications.
+
+    ``use_shared_memory=True`` (process pools) copies each distinct dataset
+    into one persistent :class:`~repro.fl.executor.SharedArrayStore` and
+    hands workers picklable refs through :meth:`worker_payload`;
+    ``False`` (in-process execution) memoizes the materialised task directly
+    — either way a dataset is *published* exactly once per host per sweep,
+    counted by :attr:`publications`.
+    """
+
+    def __init__(self, use_shared_memory: bool = True) -> None:
+        self.use_shared_memory = use_shared_memory
+        self.publications = 0
+        self._stores: Dict[DatasetKey, SharedArrayStore] = {}
+        self._payload: Dict[DatasetKey, Tuple[SyntheticImageSpec, Dict[str, SharedArrayRef]]] = {}
+        self._inline_keys: Set[DatasetKey] = set()
+
+    def publish(self, configs: Iterable[ExperimentConfig]) -> None:
+        """Materialise and publish every distinct dataset among ``configs``."""
+        for config in configs:
+            key = dataset_key(config)
+            if key in self._payload or key in self._inline_keys:
+                continue
+            task = load_task_for(config)
+            published = False
+            if self.use_shared_memory:
+                arrays = {
+                    "train/images": task.train.images,
+                    "train/labels": task.train.labels,
+                    "test/images": task.test.images,
+                    "test/labels": task.test.labels,
+                }
+                try:
+                    store = SharedArrayStore(arrays, persistent=True)
+                except (ImportError, OSError):  # pragma: no cover - no POSIX shm
+                    pass
+                else:
+                    self._stores[key] = store
+                    self._payload[key] = (task.spec, dict(store.refs))
+                    # The publishing process resolves through the same
+                    # registry its pool workers will (workers=1, baselines
+                    # run in-parent, tests) — install the refs here too.
+                    _WORKER_DATASETS[key] = self._payload[key]
+                    published = True
+            if not published:
+                self._install_inline(key, task)
+            self.publications += 1
+
+    def _install_inline(self, key: DatasetKey, task: SyntheticImageTask) -> None:
+        _WORKER_TASKS[key] = SyntheticImageTask(
+            spec=task.spec,
+            train=_readonly_dataset(task.train.images, task.train.labels),
+            test=_readonly_dataset(task.test.images, task.test.labels),
+        )
+        self._inline_keys.add(key)
+
+    def worker_payload(self) -> Dict[DatasetKey, Tuple[SyntheticImageSpec, Dict[str, SharedArrayRef]]]:
+        """Picklable initializer payload mapping dataset keys to store refs."""
+        return dict(self._payload)
+
+    def close(self) -> None:
+        """Unlink every published store and clear in-process memos."""
+        for store in self._stores.values():
+            store.close()
+        self._stores.clear()
+        for key in list(self._payload):
+            _WORKER_TASKS.pop(key, None)
+            _WORKER_DATASETS.pop(key, None)
+        self._payload.clear()
+        for key in self._inline_keys:
+            _WORKER_TASKS.pop(key, None)
+        self._inline_keys.clear()
+
+    def __enter__(self) -> "DatasetBroker":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -10,14 +10,18 @@ from __future__ import annotations
 
 import csv
 import json
+import os
+import uuid
 from pathlib import Path
-from typing import Dict, Iterable, List, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..fl.types import RoundRecord
 from .config import ExperimentConfig
 from .runner import ExperimentResult
 
 __all__ = [
+    "atomic_write_json",
+    "read_json",
     "result_to_dict",
     "result_from_dict",
     "save_results",
@@ -26,6 +30,37 @@ __all__ = [
 ]
 
 PathLike = Union[str, Path]
+
+
+def atomic_write_json(path: PathLike, payload, indent: Optional[int] = None) -> Path:
+    """Write JSON so readers never observe a half-written file.
+
+    The payload lands in a same-directory temporary file (pid + random
+    nonce, so concurrent writers — e.g. two grid runners on *different
+    hosts* racing on a stolen lease, where pids alone can collide — cannot
+    clobber each other's scratch space) and is moved into place with
+    :func:`os.replace`, which is atomic on POSIX.  Readers therefore see
+    either the previous complete artifact or the new one, never a prefix.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}-{uuid.uuid4().hex[:8]}")
+    tmp.write_text(json.dumps(payload, indent=indent))
+    tmp.replace(path)
+    return path
+
+
+def read_json(path: PathLike) -> Optional[Union[Dict, List]]:
+    """Load a JSON file, returning ``None`` when missing or unparsable.
+
+    The forgiving counterpart of :func:`atomic_write_json` for cache-style
+    consumers: a missing or corrupt artifact means "not cached", never an
+    exception.
+    """
+    try:
+        return json.loads(Path(path).read_text())
+    except (FileNotFoundError, NotADirectoryError, ValueError, OSError):
+        return None
 
 
 def _record_to_dict(record: RoundRecord) -> Dict:
@@ -93,11 +128,8 @@ def save_results(
     results: Sequence[Tuple[str, ExperimentResult]], path: PathLike
 ) -> Path:
     """Write labelled results to a JSON file and return the path."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
     payload = [result_to_dict(label, result) for label, result in results]
-    path.write_text(json.dumps(payload, indent=2))
-    return path
+    return atomic_write_json(path, payload, indent=2)
 
 
 def load_results(path: PathLike) -> List[Tuple[str, ExperimentResult]]:

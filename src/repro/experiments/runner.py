@@ -8,7 +8,6 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..attacks import DfaHyperParameters, build_attack
-from ..data.synthetic import load_dataset
 from ..defenses import build_defense
 from ..fl.simulation import FederatedSimulation, SimulationResult
 from ..fl.types import LocalTrainingConfig, RoundRecord
@@ -56,22 +55,23 @@ def _attack_kwargs_for(config: ExperimentConfig) -> Dict:
 
 
 def build_simulation(
-    config: ExperimentConfig, executor=None, workers: Optional[int] = None
+    config: ExperimentConfig, executor=None, workers: Optional[int] = None, task=None
 ) -> FederatedSimulation:
     """Construct the simulation (task, model factory, attack, defense) for a config.
 
     ``executor`` selects the benign-client fan-out backend (see
     :class:`~repro.fl.simulation.FederatedSimulation`); the model factory is
     a picklable :class:`~repro.models.ClassifierFactory`, so the ``"process"``
-    backend works out of the box.
+    backend works out of the box.  ``task`` injects a pre-built dataset task
+    for the config — the grid dispatch layer passes the grid-level shared
+    publication (read-only views into one per-dataset shm segment) so a
+    sweep's cells skip both regeneration and re-publication; it must match
+    what ``load_dataset`` would produce for the config's dataset fields.
     """
-    task = load_dataset(
-        config.dataset,
-        train_size=config.train_size,
-        test_size=config.test_size,
-        seed=config.dataset_seed,
-        image_size=config.image_size,
-    )
+    if task is None:
+        from .dispatch import load_task_for  # local import: dispatch pulls in shm machinery
+
+        task = load_task_for(config)
     architecture = config.architecture or default_architecture_for_dataset(config.dataset)
     model_factory = ClassifierFactory.for_task(task, architecture=architecture, seed=config.seed)
 
@@ -106,15 +106,17 @@ def run_experiment(
     baseline_accuracy: Optional[float] = None,
     executor=None,
     workers: Optional[int] = None,
+    task=None,
 ) -> ExperimentResult:
     """Run one experiment and compute accuracy / ASR / DPR.
 
     ``baseline_accuracy`` is the clean accuracy ``acc`` used by Eq. 4; when
     omitted, ASR is left as ``None`` (use :class:`ExperimentRunner` to manage
     baselines automatically).  ``executor``/``workers`` select the
-    client-level fan-out backend of the underlying simulation.
+    client-level fan-out backend of the underlying simulation; ``task``
+    injects a pre-built dataset (see :func:`build_simulation`).
     """
-    with build_simulation(config, executor=executor, workers=workers) as simulation:
+    with build_simulation(config, executor=executor, workers=workers, task=task) as simulation:
         result = simulation.run(config.num_rounds)
     synthesis_losses: List[List[float]] = []
     if simulation.attack is not None:

@@ -102,6 +102,7 @@ __all__ = [
     "ShardRef",
     "SharedParamsRef",
     "SharedParamsLease",
+    "attach_array_store",
     "resolve_shared_array",
     "FanoutCall",
     "register_fanout_fn",
@@ -326,6 +327,19 @@ def resolve_shared_array(ref: SharedArrayRef) -> np.ndarray:
     )
     view.flags.writeable = False
     return view
+
+
+def attach_array_store(refs: Mapping[str, SharedArrayRef]) -> Dict[str, np.ndarray]:
+    """Attach one store publication and return read-only views by name.
+
+    The inverse of :attr:`SharedArrayStore.refs` on the consuming side:
+    every ref resolves through the per-process attach cache, so a store's
+    segment is mapped once per process no matter how many arrays it packs or
+    how often the caller re-attaches.  The grid-level dataset store
+    (:mod:`repro.experiments.dispatch`) uses this to hand worker processes a
+    whole published dataset at once.
+    """
+    return {name: resolve_shared_array(ref) for name, ref in refs.items()}
 
 
 def _attach_shared_params(ref: SharedParamsRef) -> np.ndarray:

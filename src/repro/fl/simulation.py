@@ -204,6 +204,12 @@ class FederatedSimulation:
         arrays.  Returns the reference-array ref for the server, if any.
         """
         self._shard_store: Optional[SharedArrayStore] = None
+        self.store_publications = 0
+        """Shared-memory store segments this simulation created (0 or 1).
+        Task-level arrays shared at *grid* level (the dispatch layer's
+        per-dataset store) are attached upstream and never counted here; the
+        per-simulation store only re-packs the fancy-indexed client shards
+        and reference arrays, which cannot alias the dataset segment."""
         if not getattr(self.executor, "supports_shard_store", False):
             return None
         arrays: Dict[str, np.ndarray] = {}
@@ -219,6 +225,7 @@ class FederatedSimulation:
             self._shard_store = SharedArrayStore(arrays, persistent=True)
         except (ImportError, OSError):  # pragma: no cover - no POSIX shm
             return None
+        self.store_publications += 1
         refs = self._shard_store.refs
         for client_id, client in self.benign_clients.items():
             client.shard_ref = ShardRef(

@@ -65,10 +65,19 @@ def prediction_balance(predicted_labels: Iterable[int], num_classes: int) -> flo
 
     Convenience wrapper matching REFD's balance value (Eq. 6), exposed here
     for analysis scripts that want the statistic without running a defense.
+    It delegates to :func:`repro.defenses.refd.balance_value`, so the metric
+    and the defense cannot disagree: in particular a zero-std (perfectly
+    balanced) histogram scores ``sqrt(C / 2)`` — the supremum of the finite
+    inverse-std values — not the old ``1.0`` sentinel, which ranked perfect
+    balance *below* mildly biased histograms in analysis output long after
+    the defense itself was fixed.
     """
+    # Imported lazily: metrics is a leaf package and must not pull the
+    # defense stack (and its executor machinery) in at import time.
+    from ..defenses.refd import balance_value
+
     counts = np.bincount(np.asarray(list(predicted_labels)), minlength=num_classes)
-    std = counts.std()
-    return 1.0 if std == 0 else float(1.0 / std)
+    return balance_value(counts)
 
 
 def prediction_confidence(probabilities: np.ndarray) -> float:

@@ -11,6 +11,8 @@ import pytest
 
 from repro.experiments import (
     ExperimentRunner,
+    GridBaselineError,
+    GridExecutionError,
     GridRunner,
     GridSpec,
     config_hash,
@@ -162,6 +164,150 @@ class TestGridRunnerCaching:
         for _, result in results:
             assert result.baseline_accuracy is not None
             assert result.asr is not None
+
+
+def _killer_run_cell(label, config, baseline_accuracy):
+    """Module-level so the pool can pickle it: kills its worker for one
+    specific cell, behaves like the real worker entry point otherwise."""
+    import os
+
+    from repro.experiments.dispatch import resolve_task
+    from repro.experiments.runner import run_experiment
+
+    if label == "killer-cell":
+        os._exit(1)
+    task = resolve_task(config)
+    return label, run_experiment(config, baseline_accuracy=baseline_accuracy, task=task)
+
+
+class TestGridRunnerFailurePaths:
+    def _grid_with_poison_cell(self):
+        """Three cells; the middle one raises in the worker (unknown attack
+        only fails at build time inside run_experiment, not at config
+        time)."""
+        grid = _tiny_grid()[:2]
+        poison = ("poisoned-cell", grid[0][1].with_overrides(attack="no-such-attack"))
+        return [grid[0], poison, grid[1]]
+
+    def test_failing_cell_does_not_lose_siblings(self, tmp_path):
+        scenario_list = self._grid_with_poison_cell()
+        runner = GridRunner(workers=1, cache_dir=tmp_path)
+        with pytest.raises(GridExecutionError) as info:
+            runner.run(scenario_list)
+        error = info.value
+        assert set(error.failures) == {"poisoned-cell"}
+        assert "no-such-attack" in error.failures["poisoned-cell"]
+        # both siblings completed, streamed and cached
+        assert {label for label, _ in error.results} == {
+            scenario_list[0][0],
+            scenario_list[2][0],
+        }
+        assert runner.last_stats.executed == 2
+        assert runner.last_stats.failed == 1
+        assert runner.last_failures == error.failures
+        rerun = GridRunner(workers=1, cache_dir=tmp_path)
+        with pytest.raises(GridExecutionError):
+            rerun.run(scenario_list)
+        assert rerun.last_stats.cache_hits == 2
+        assert rerun.last_stats.executed == 0
+
+    @pytest.mark.slow
+    def test_failing_cell_does_not_abandon_inflight_pool_siblings(self, tmp_path):
+        runner = GridRunner(workers=2, cache_dir=tmp_path)
+        with pytest.raises(GridExecutionError) as info:
+            runner.run(self._grid_with_poison_cell())
+        assert len(info.value.results) == 2
+        assert runner.last_stats.executed == 2
+
+    @pytest.mark.slow
+    def test_dead_worker_breaks_only_its_batch_and_pool_recovers(
+        self, tmp_path, monkeypatch
+    ):
+        """A worker killed mid-cell poisons the shared pool for its batch;
+        later batches must run on a fresh pool instead of dying on submit
+        (claim batching reuses one pool across many batches)."""
+        import repro.experiments.grid as grid_module
+
+        monkeypatch.setattr(grid_module, "_run_cell", _killer_run_cell)
+        grid = expand_grid(
+            attacks=("lie",),
+            defenses=("fedavg", "mkrum", "median", "krum"),
+            betas=(0.5, None),
+            scale=smoke_scale,
+            num_rounds=1,
+        )
+        scenario_list = [("killer-cell", grid[0][1])] + grid[1:]
+        # claim_ttl forces small claim batches -> several batches, one pool
+        runner = GridRunner(workers=2, cache_dir=tmp_path, claim_ttl=30)
+        with pytest.raises(GridExecutionError) as info:
+            runner.run(scenario_list)
+        assert "killer-cell" in info.value.failures
+        stats = runner.last_stats
+        # every cell either completed or was recorded as a failure...
+        assert stats.executed + stats.failed == len(scenario_list)
+        # ...and cells from batches after the crash completed on a new pool
+        assert stats.executed >= 4
+
+    def test_unfilled_baseline_raises_with_offending_labels(self, monkeypatch):
+        grid = _tiny_grid()
+        runner = GridRunner(workers=1)
+        original = GridRunner._execute_batch
+
+        def drop_baselines(self, jobs, phase, ledger=None):
+            if phase == "baseline":
+                return {}, {}
+            return original(self, jobs, phase, ledger)
+
+        monkeypatch.setattr(GridRunner, "_execute_batch", drop_baselines)
+        with pytest.raises(GridBaselineError) as info:
+            runner.run(grid)
+        # every cell whose baseline placeholder survived phase 1 is named
+        assert sorted(info.value.labels) == sorted(label for label, _ in grid)
+
+    def test_failed_baseline_job_skips_dependent_cells_only(
+        self, tmp_path, monkeypatch
+    ):
+        grid = _tiny_grid()
+        import repro.experiments.grid as grid_module
+
+        original = grid_module._run_cell
+
+        def poisoned_run_cell(label, config, baseline_accuracy):
+            if label.startswith("baseline/"):
+                raise RuntimeError("baseline exploded")
+            return original(label, config, baseline_accuracy)
+
+        monkeypatch.setattr(grid_module, "_run_cell", poisoned_run_cell)
+        runner = GridRunner(workers=1, cache_dir=tmp_path)
+        with pytest.raises(GridBaselineError):
+            runner.run(grid)
+        assert runner.last_stats.executed == 0  # no cell ran with a NaN baseline
+        # failures: 2 baseline jobs + 4 baseline-starved cells
+        assert runner.last_stats.failed == 6
+
+    def test_one_bad_baseline_does_not_starve_the_other(self, tmp_path, monkeypatch):
+        """Only the cells depending on the broken baseline are skipped;
+        cells with a healthy baseline still execute and are salvaged."""
+        grid = _tiny_grid()  # betas (0.5, None) -> two distinct baselines
+        import repro.experiments.grid as grid_module
+
+        original = grid_module._run_cell
+
+        def poisoned_run_cell(label, config, baseline_accuracy):
+            if label.startswith("baseline/") and config.beta is None:
+                raise RuntimeError("iid baseline exploded")
+            return original(label, config, baseline_accuracy)
+
+        monkeypatch.setattr(grid_module, "_run_cell", poisoned_run_cell)
+        runner = GridRunner(workers=1, cache_dir=tmp_path)
+        with pytest.raises(GridBaselineError) as info:
+            runner.run(grid)
+        iid_labels = [label for label, config in grid if config.beta is None]
+        assert info.value.labels == sorted(iid_labels)
+        # the beta=0.5 cells completed and ride along on the error
+        completed = {label for label, _ in info.value.results}
+        assert completed == {label for label, config in grid if config.beta is not None}
+        assert runner.last_stats.executed == 2
 
 
 @pytest.mark.slow

@@ -86,13 +86,42 @@ class TestMaxAccuracy:
 
 class TestPredictionStatistics:
     def test_balance_uniform_predictions(self):
+        # A zero-std histogram maps to the supremum of the finite balance
+        # values, sqrt(C / 2) — NOT the old 1.0 sentinel, which ranked
+        # perfect balance below mildly biased histograms.
         labels = [0, 1, 2, 3] * 5
-        assert prediction_balance(labels, 4) == 1.0
+        assert prediction_balance(labels, 4) == pytest.approx(np.sqrt(4 / 2))
 
     def test_balance_biased_predictions_lower(self):
         biased = prediction_balance([0] * 20, 4)
         uniform = prediction_balance([0, 1, 2, 3] * 5, 4)
         assert biased < uniform
+
+    def test_balance_matches_refd_defense_exactly(self):
+        """Regression: the metrics wrapper must delegate to the defense's
+        Eq. 6 implementation, so the two can never disagree again."""
+        from repro.defenses.refd import balance_value, max_balance_value
+
+        cases = [
+            [0, 1, 2, 3] * 5,            # perfectly balanced
+            [0, 1, 2, 3] * 5 + [0],      # near-balanced (std < 1)
+            [0, 0, 1, 2, 3],             # mildly biased
+            [0] * 20,                    # fully collapsed
+            [1] * 7 + [2] * 6 + [3] * 7, # one empty class
+        ]
+        for labels in cases:
+            counts = np.bincount(np.asarray(labels), minlength=4)
+            assert prediction_balance(labels, 4) == balance_value(counts)
+        assert prediction_balance([0, 1, 2, 3], 4) == max_balance_value(4)
+
+    def test_balanced_never_ranks_below_near_balanced(self):
+        """The exact inversion the old 1.0 sentinel produced: a histogram
+        with std < 1 (e.g. 6/5/5/4 over 20 samples) used to out-score a
+        perfectly balanced one in analysis output."""
+        near_balanced = [0] * 6 + [1] * 5 + [2] * 5 + [3] * 4
+        assert prediction_balance(near_balanced, 4) > 1.0  # std < 1 here
+        balanced = [0, 1, 2, 3] * 5
+        assert prediction_balance(balanced, 4) > prediction_balance(near_balanced, 4)
 
     def test_confidence_mean_of_max(self):
         probabilities = np.array([[0.7, 0.3], [0.5, 0.5]])
