@@ -40,7 +40,9 @@ from typing import Callable, Dict, Optional, Tuple
 import numpy as np
 
 from repro.defenses import Refd
+from repro.defenses.distances import pairwise_sq_distances
 from repro.experiments import benchmark_scale, build_simulation
+from repro.fl.dispatch_policy import CostModel, DispatchPolicy
 from repro.fl.executor import (
     ParallelExecutor,
     ShardRef,
@@ -89,6 +91,10 @@ CHECK_THRESHOLDS = {
     # updates, see bench_distance_block); ~0.05x measured, bound at 0.02x.
     "distance_block": 0.02,
     "e2e_round": 1.2,
+    # The adaptive policy must track the best static backend at bench scale:
+    # its headline is min(speedup vs serial, speedup vs best static), so the
+    # bound asserts it is never more than ~10% slower than either.
+    "adaptive_dispatch": 0.9,
 }
 
 
@@ -430,7 +436,7 @@ def bench_round_dispatch(repeats: int) -> Dict[str, float]:
     results: Dict[str, float] = {}
     for label, use_shm in (("inline", False), ("shm", True)):
         executor = ParallelExecutor(workers=2, use_shared_memory=use_shm)
-        with build_simulation(config, executor=executor) as simulation:
+        with build_simulation(config, policy=executor) as simulation:
             simulation.run_round()  # warm the pool
             results[f"{label}_s"] = _best_of(simulation.run_round, max(2, repeats // 8))
             if use_shm:
@@ -455,7 +461,7 @@ def bench_shard_broadcast() -> Dict[str, float]:
     results: Dict[str, float] = {}
     for label, use_shm in (("inline", False), ("shm", True)):
         executor = ParallelExecutor(workers=2, use_shared_memory=use_shm)
-        with build_simulation(config, executor=executor) as simulation:
+        with build_simulation(config, policy=executor) as simulation:
             client = next(iter(simulation.benign_clients.values()))
             params = simulation.server.distribute()
             task = client.make_task(params, 0)
@@ -541,6 +547,41 @@ def bench_refd_fanout(repeats: int) -> Dict[str, float]:
         "process_s": process,
         "speedup": serial / process,
         "fanout_calls": fanout_calls,
+        "workers": 2,
+    }
+
+
+def bench_distance_fanout(repeats: int) -> Dict[str, float]:
+    """Distance-plane row-block fan-out: serial kernels vs a 2-worker pool.
+
+    Times the full production path (content digests, cache probe, block
+    fan-out) on the ledger's reference geometry — a 10x100k float32 matrix
+    split into 4 row blocks — with the policy's distance cache cleared
+    before every run so the kernels are actually recomputed.  The measured
+    pair is what calibrates the ``"distance"`` site of the adaptive cost
+    model, documenting the regression the adaptive policy exists to avoid:
+    at this scale the process fan-out *loses* on 1-2 core machines.
+    """
+    rng = np.random.default_rng(0)
+    matrix = rng.standard_normal((10, 100_000)).astype(np.float32)
+    repeats = max(3, repeats)
+    serial_policy = DispatchPolicy.serial()
+    baseline = pairwise_sq_distances(matrix, dispatch=serial_policy)
+
+    def run(policy):
+        policy.distance_cache.clear()
+        return pairwise_sq_distances(matrix, dispatch=policy)
+
+    serial = _best_of(lambda: run(serial_policy), repeats)
+    with ParallelExecutor(workers=2) as executor:
+        process_policy = DispatchPolicy.for_executor(executor)
+        np.testing.assert_array_equal(baseline, run(process_policy))
+        process = _best_of(lambda: run(process_policy), repeats)
+    return {
+        "serial_s": serial,
+        "process_s": process,
+        "speedup": serial / process,
+        "blocks": 4,
         "workers": 2,
     }
 
@@ -645,6 +686,110 @@ def bench_e2e_round(repeats: int) -> Dict[str, float]:
     }
 
 
+def _dispatch_site_records(results) -> list:
+    """Explicit per-site calibration records for ``CostModel.from_ledger``.
+
+    Rewrites this run's measured serial/pooled pairs into the
+    ``dispatch_sites`` section of the ledger (site, backend, items, work,
+    serial_s, parallel_s, workers), using the known bench geometries.
+    """
+    records = []
+    refd = results.get("refd_fanout")
+    if refd:
+        records.append(
+            {
+                "site": "refd",
+                "backend": "process",
+                "items": 8,
+                "work": float(8 * 3818),  # 8 updates x SmallCNN(1, 16, 8) params
+                "serial_s": refd["serial_s"],
+                "parallel_s": refd["process_s"],
+                "workers": refd.get("workers", 2),
+            }
+        )
+    distance = results.get("distance_fanout")
+    if distance:
+        records.append(
+            {
+                "site": "distance",
+                "backend": "process",
+                "items": distance.get("blocks", 4),
+                "work": float(10 * 10 * 100_000),  # n * n * dim of the probe
+                "serial_s": distance["serial_s"],
+                "parallel_s": distance["process_s"],
+                "workers": distance.get("workers", 2),
+            }
+        )
+    round_dispatch = results.get("round_dispatch")
+    e2e = results.get("e2e_round")
+    if round_dispatch and e2e:
+        records.append(
+            {
+                "site": "round",
+                "backend": "process",
+                "items": 8,
+                "work": float(8 * 20490),  # 8 clients x FashionCNN/28px params
+                "serial_s": e2e["current_s"],
+                "parallel_s": round_dispatch["inline_s"],
+                "workers": 2,
+            }
+        )
+    return records
+
+
+def bench_adaptive_dispatch(repeats: int, results) -> Dict[str, object]:
+    """Adaptive policy vs serial and the best static backend, end to end.
+
+    Builds the cost model from the numbers this very run just measured (the
+    in-memory ledger), runs the e2e round under ``DispatchPolicy.adaptive``
+    and compares against the serial policy plus every static process timing
+    already on record.  The headline is the *minimum* of the two ratios, so
+    the CI bound asserts the adaptive policy is never meaningfully slower
+    than serial nor than the best static choice at bench scale.
+    """
+    config = _e2e_config()
+    rounds = max(3, repeats // 5)
+    out: Dict[str, object] = {}
+    model = CostModel.from_ledger({"results": results})
+    policy = DispatchPolicy.adaptive(cost_model=model)
+    # Interleave the timed rounds of both legs so machine-load drift over the
+    # measurement window biases neither ratio leg.
+    serial_best = float("inf")
+    adaptive_best = float("inf")
+    with build_simulation(config, policy="serial") as serial_sim:
+        with build_simulation(config, policy=policy) as adaptive_sim:
+            serial_sim.run_round()
+            adaptive_sim.run_round()
+            for _ in range(rounds):
+                start = time.perf_counter()
+                serial_sim.run_round()
+                serial_best = min(serial_best, time.perf_counter() - start)
+                start = time.perf_counter()
+                adaptive_sim.run_round()
+                adaptive_best = min(adaptive_best, time.perf_counter() - start)
+            out["serial_s"] = serial_best
+            out["adaptive_s"] = adaptive_best
+            out["decision_trace"] = policy.trace_dicts()
+            out["counters"] = {
+                k: v
+                for k, v in policy.counter_snapshot().items()
+                if isinstance(v, int)
+            }
+
+    static = {"serial": out["serial_s"]}
+    round_dispatch = results.get("round_dispatch")
+    if round_dispatch:
+        static["process_inline"] = round_dispatch["inline_s"]
+        static["process_shm"] = round_dispatch["shm_s"]
+    best = min(static, key=static.get)
+    out["best_static"] = best
+    out["best_static_s"] = static[best]
+    out["speedup_vs_serial"] = out["serial_s"] / out["adaptive_s"]
+    out["speedup_vs_best_static"] = out["best_static_s"] / out["adaptive_s"]
+    out["speedup"] = min(out["speedup_vs_serial"], out["speedup_vs_best_static"])
+    return out
+
+
 # ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------
@@ -661,8 +806,14 @@ def run_suite(repeats: int = 25, include_dispatch: bool = True, include_e2e: boo
         results["round_dispatch"] = bench_round_dispatch(repeats)
         results["shard_broadcast"] = bench_shard_broadcast()
         results["refd_fanout"] = bench_refd_fanout(repeats)
+        results["distance_fanout"] = bench_distance_fanout(max(3, repeats // 5))
     if include_e2e:
         results["e2e_round"] = bench_e2e_round(repeats)
+    site_records = _dispatch_site_records(results)
+    if site_records:
+        results["dispatch_sites"] = site_records
+    if include_dispatch:
+        results["adaptive_dispatch"] = bench_adaptive_dispatch(repeats, results)
     return results
 
 
@@ -678,7 +829,7 @@ def _aggregate_speedups(results) -> Dict[str, float]:
             headline[metric] = float(results[metric]["speedup"])
     if "round_dispatch" in results:
         headline["round_dispatch_shm"] = float(results["round_dispatch"]["speedup"])
-    for metric in ("shard_broadcast", "refd_fanout"):
+    for metric in ("shard_broadcast", "refd_fanout", "distance_fanout", "adaptive_dispatch"):
         if metric in results:
             headline[metric] = float(results[metric]["speedup"])
     if "e2e_round" in results:
@@ -750,6 +901,16 @@ def render_table(results, headline) -> str:
                 f"{numbers['speedup']:.2f}x",
             ]
         )
+    if "distance_fanout" in results:
+        numbers = results["distance_fanout"]
+        rows.append(
+            [
+                "distance_fanout(serial vs process)",
+                f"{numbers['serial_s'] * 1e6:.0f}",
+                f"{numbers['process_s'] * 1e6:.0f}",
+                f"{numbers['speedup']:.2f}x",
+            ]
+        )
     if "e2e_round" in results:
         numbers = results["e2e_round"]
         rows.append(
@@ -757,6 +918,16 @@ def render_table(results, headline) -> str:
                 "e2e_round(legacy kernels)",
                 f"{numbers['legacy_s'] * 1e6:.0f}",
                 f"{numbers['current_s'] * 1e6:.0f}",
+                f"{numbers['speedup']:.2f}x",
+            ]
+        )
+    if "adaptive_dispatch" in results:
+        numbers = results["adaptive_dispatch"]
+        rows.append(
+            [
+                f"adaptive_dispatch(vs {numbers['best_static']})",
+                f"{numbers['best_static_s'] * 1e6:.0f}",
+                f"{numbers['adaptive_s'] * 1e6:.0f}",
                 f"{numbers['speedup']:.2f}x",
             ]
         )
@@ -797,6 +968,24 @@ def main(argv=None) -> int:
     with open(args.output, "w") as handle:
         json.dump(payload, handle, indent=2)
     print(f"\nwrote {args.output}")
+
+    adaptive = results.get("adaptive_dispatch")
+    if adaptive:
+        trace_path = os.path.join(
+            os.path.dirname(os.path.abspath(args.output)), "BENCH_dispatch_trace.json"
+        )
+        with open(trace_path, "w") as handle:
+            json.dump(
+                {
+                    "decision_trace": adaptive["decision_trace"],
+                    "counters": adaptive["counters"],
+                    "speedup_vs_serial": adaptive["speedup_vs_serial"],
+                    "speedup_vs_best_static": adaptive["speedup_vs_best_static"],
+                },
+                handle,
+                indent=2,
+            )
+        print(f"wrote {trace_path}")
 
     if args.check:
         verdicts = check_thresholds(headline)

@@ -130,12 +130,12 @@ def test_grid_sweep_parallel_speedup_and_cache(benchmark, report, tmp_path):
         return time.perf_counter() - start, results
 
     def measure():
-        serial_seconds, serial_results = timed_run(GridRunner(workers=1))
+        serial_seconds, serial_results = timed_run(GridRunner(policy="serial"))
         # Cold cache: executes everything, writes one artifact per cell.
-        parallel = GridRunner(workers=_GRID_WORKERS, cache_dir=cache_dir)
+        parallel = GridRunner(policy=f"process:{_GRID_WORKERS}", cache_dir=cache_dir)
         parallel_seconds, parallel_results = timed_run(parallel)
         # Warm cache: every cell (and baseline) must be a hit.
-        cached = GridRunner(workers=_GRID_WORKERS, cache_dir=cache_dir)
+        cached = GridRunner(policy=f"process:{_GRID_WORKERS}", cache_dir=cache_dir)
         cached_seconds, _ = timed_run(cached)
         return {
             "serial_seconds": serial_seconds,

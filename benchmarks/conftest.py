@@ -49,8 +49,9 @@ def runner() -> ExperimentRunner:
 @pytest.fixture(scope="session")
 def grid_runner() -> GridRunner:
     """Session-wide scenario-grid runner (parallel dispatch + optional cache)."""
+    workers = bench_workers()
     return GridRunner(
-        workers=bench_workers(),
+        policy=f"process:{workers}" if workers > 1 else "serial",
         cache_dir=os.environ.get("REPRO_BENCH_CACHE") or None,
     )
 

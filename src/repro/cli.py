@@ -44,6 +44,7 @@ from .experiments import ExperimentRunner, benchmark_scale, paper_scale, scenari
 from .experiments import dispatch
 from .experiments.grid import GridExecutionError, GridRunner, expand_grid
 from .experiments.io import save_results, write_summary_csv
+from .fl.dispatch_policy import DispatchPolicy
 from .utils import format_table
 
 __all__ = ["main", "build_parser"]
@@ -94,6 +95,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="client-level fan-out processes for local training (1 = serial)",
     )
+    run.add_argument(
+        "--dispatch",
+        default=None,
+        metavar="SPEC",
+        help="dispatch-policy spec, e.g. 'adaptive', 'process:2' or "
+        "'adaptive,distance=serial' (overrides --workers)",
+    )
+    run.add_argument(
+        "--stats-json",
+        default=None,
+        metavar="PATH",
+        help="write the dispatch decision trace and executor counters as JSON",
+    )
 
     scenario = subparsers.add_parser("scenario", help="run every experiment of one table/figure")
     scenario.add_argument("name", choices=sorted(_SCENARIOS))
@@ -101,6 +115,12 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--output", default=None, help="basename for .json/.csv result files")
     scenario.add_argument(
         "--workers", type=int, default=1, help="scenario-level worker processes (1 = serial)"
+    )
+    scenario.add_argument(
+        "--dispatch",
+        default=None,
+        metavar="SPEC",
+        help="dispatch-policy spec governing the scenario batch (overrides --workers)",
     )
     scenario.add_argument(
         "--cache-dir", default=None, help="per-scenario result cache directory"
@@ -125,6 +145,12 @@ def build_parser() -> argparse.ArgumentParser:
     grid.add_argument("--rounds", type=int, default=None, help="override the number of rounds")
     grid.add_argument(
         "--workers", type=int, default=1, help="scenario-level worker processes (1 = serial)"
+    )
+    grid.add_argument(
+        "--dispatch",
+        default=None,
+        metavar="SPEC",
+        help="dispatch-policy spec governing the sweep (overrides --workers)",
     )
     grid.add_argument(
         "--cache-dir",
@@ -171,6 +197,39 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _policy_from_args(args: argparse.Namespace) -> DispatchPolicy:
+    """Resolve ``--dispatch`` / ``--workers`` into one dispatch policy.
+
+    ``--dispatch SPEC`` wins; otherwise ``--workers N > 1`` maps to a fixed
+    process policy (the pre-policy CLI behaviour) and everything else runs
+    serial.
+    """
+    workers = getattr(args, "workers", 1) or 1
+    spec = getattr(args, "dispatch", None)
+    if spec:
+        policy = DispatchPolicy.parse(spec)
+        if policy.workers is None and workers > 1:
+            policy.workers = workers
+        return policy
+    if workers > 1:
+        return DispatchPolicy.fixed("process", workers=workers)
+    return DispatchPolicy.serial()
+
+
+def _write_policy_stats(policy: DispatchPolicy, path_spec: Optional[str]) -> None:
+    """Dump the policy's decision trace + counters as JSON when requested."""
+    if not path_spec:
+        return
+    path = Path(path_spec)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "dispatch_decisions": policy.trace_dicts(),
+        "counters": policy.counter_snapshot(),
+    }
+    path.write_text(json.dumps(payload, indent=2))
+    print(f"stats written to {path}")
+
+
 def _run_single(args: argparse.Namespace) -> int:
     scale = _SCALES[args.scale]
     overrides = {"attack": args.attack, "defense": args.defense, "seed": args.seed}
@@ -184,8 +243,8 @@ def _run_single(args: argparse.Namespace) -> int:
         overrides["malicious_fraction"] = args.malicious_fraction
     config = scale(args.dataset, **overrides)
 
-    executor = "process" if args.workers > 1 else None
-    runner = ExperimentRunner(executor=executor, workers=args.workers)
+    policy = _policy_from_args(args)
+    runner = ExperimentRunner(policy=policy)
     result = runner.run(config)
     rows = [
         ["clean accuracy acc (%)", 100.0 * (result.baseline_accuracy or 0.0)],
@@ -196,6 +255,7 @@ def _run_single(args: argparse.Namespace) -> int:
     ]
     print(f"dataset={args.dataset} attack={args.attack} defense={args.defense} scale={args.scale}")
     print(format_table(["metric", "value"], rows))
+    _write_policy_stats(policy, args.stats_json)
     return 0
 
 
@@ -215,13 +275,15 @@ def _save_if_requested(results, output: Optional[str]) -> None:
 def _run_scenario(args: argparse.Namespace) -> int:
     scale = _SCALES[args.scale]
     scenario_list = _SCENARIOS[args.name](scale)
-    if args.workers > 1 or args.cache_dir:
-        runner = GridRunner(workers=max(1, args.workers), cache_dir=args.cache_dir, progress=print)
+    policy = _policy_from_args(args)
+    batch = policy.decide("grid", items=len(scenario_list), work=float(len(scenario_list)))
+    if batch.backend == "process" or args.cache_dir:
+        runner = GridRunner(policy=policy, cache_dir=args.cache_dir, progress=print)
         results = runner.run(scenario_list)
         for label, result in results:
             _print_result_line(label, result)
     else:
-        runner = ExperimentRunner()
+        runner = ExperimentRunner(policy=policy)
         results = []
         for label, config in scenario_list:
             result = runner.run(config)
@@ -291,10 +353,11 @@ def _run_grid(args: argparse.Namespace) -> int:
         except ValueError as error:
             parser.error(str(error))
     scenario_list = expand_grid(scale=scale, **axes, **overrides)
+    policy = _policy_from_args(args)
     print(f"grid: {len(scenario_list)} scenarios, workers={args.workers}, "
           f"cache={args.cache_dir or 'disabled'}")
     runner = GridRunner(
-        workers=args.workers,
+        policy=policy,
         cache_dir=args.cache_dir,
         progress=print,
         runner_id=args.runner_id,

@@ -86,9 +86,10 @@ class AdaptiveRefd(Refd):
     ) -> AggregationResult:
         self._validate(updates)
         images, _ = self._reference_arrays(context)
-        # One batched inference pass observes the statistics — on a pooled
-        # round executor it fans out per update exactly like plain REFD
-        # (process pools run the registered ``evaluate_update`` envelopes).
+        # One batched inference pass observes the statistics — the context's
+        # dispatch policy routes it exactly like plain REFD (pooled backends
+        # run the registered ``evaluate_update`` envelopes, serial falls
+        # back to the fused loop).
         # The balance and confidence values do not depend on α, so after
         # adapting it only the D-scores need recomputing — no second pass
         # over the reference set.

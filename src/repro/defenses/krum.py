@@ -10,8 +10,11 @@ The pairwise geometry comes from the shared defense distance plane
 instead of the old in-dtype Gram trick ``‖x‖²+‖y‖²−2x·y``, which
 catastrophically cancelled for near-duplicate float32 updates
 (eps32 · ‖x‖² ≫ the true inter-update distance once training converges) and
-scrambled which client Krum accepts.  On a pooled round executor the
-distance row blocks fan out through the executor's named registry.
+scrambled which client Krum accepts.  The context's
+:class:`~repro.fl.dispatch_policy.DispatchPolicy` decides whether the
+distance row blocks run inline or fan out across a pooled backend, and its
+cross-round :class:`~repro.fl.dispatch_policy.DistanceCache` skips
+recomputation for rows whose exact bytes were already seen.
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..fl.aggregation import stack_updates, unweighted_average
+from ..fl.dispatch_policy import dispatch_for
 from ..fl.types import AggregationResult, DefenseContext, ModelUpdate
 from .base import Defense
 from .distances import pairwise_sq_distances
@@ -71,6 +75,7 @@ def krum_scores(
     num_malicious: int,
     distances: Optional[np.ndarray] = None,
     executor=None,
+    dispatch=None,
 ) -> np.ndarray:
     """Krum score of each row of ``matrix`` (lower is more trustworthy).
 
@@ -86,11 +91,17 @@ def krum_scores(
         computation — Bulyan's iterative selection reuses one matrix for
         every pick).
     executor:
-        Optional round executor; pooled backends fan the distance row
-        blocks out through the named registry.
+        Optional round executor; pinned into a
+        :class:`~repro.fl.dispatch_policy.DispatchPolicy` so pooled
+        backends fan the distance row blocks out through the named
+        registry.
+    dispatch:
+        Optional :class:`~repro.fl.dispatch_policy.DispatchPolicy`
+        governing the distance-plane fan-out (takes precedence over
+        ``executor``).
     """
     if distances is None:
-        distances = pairwise_sq_distances(matrix, executor=executor)
+        distances = pairwise_sq_distances(matrix, executor=executor, dispatch=dispatch)
     return krum_scores_from_distances(distances, num_malicious)
 
 
@@ -127,7 +138,7 @@ class Krum(Defense):
     ) -> AggregationResult:
         self._validate(updates)
         matrix = stack_updates(updates)
-        distances = pairwise_sq_distances(matrix, executor=context.executor)
+        distances = pairwise_sq_distances(matrix, dispatch=dispatch_for(context))
         scores = krum_scores_from_distances(distances, context.expected_num_malicious)
         best = int(np.argmin(scores))
         accepted = [updates[best].client_id]
@@ -159,7 +170,7 @@ class MultiKrum(Defense):
         n = matrix.shape[0]
         m = self.num_selected if self.num_selected is not None else n - context.expected_num_malicious
         m = int(np.clip(m, 1, n))
-        distances = pairwise_sq_distances(matrix, executor=context.executor)
+        distances = pairwise_sq_distances(matrix, dispatch=dispatch_for(context))
         scores = krum_scores_from_distances(distances, context.expected_num_malicious)
         chosen = np.argsort(scores)[:m]
         accepted_updates = [updates[i] for i in chosen]

@@ -36,9 +36,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..fl.aggregation import fedavg
+from ..fl.dispatch_policy import dispatch_for
 from ..fl.executor import (
     SharedArrayRef,
-    pooled_fanout_ready,
     register_fanout_fn,
     resolve_shared_array,
 )
@@ -232,23 +232,26 @@ class Refd(Defense):
         Returns ``(predicted, max_probs, num_classes)`` where ``predicted``
         is the ``(num_updates, num_samples)`` argmax matrix and ``max_probs``
         the matching maximum-probability matrix.  One model instance and one
-        probability buffer are reused across all updates; when the round
-        executor advertises generic fan-out, the per-update inference runs
-        through :func:`evaluate_update` on its pool instead — threads call
-        it directly, the process backend ships registry envelopes whose
-        ``images`` element is the shared-memory reference ref when the
-        simulation published one (``context.reference_ref``, used only when
-        its shape matches ``images``, i.e. no ``max_reference_samples``
-        truncation happened), so each work item pickles just one parameter
-        vector.  A backend whose fan-out *pickles* its work items (process
-        pool) is only used when that by-reference hand-off is available:
-        inlining the reference tensor into every envelope would re-ship it
-        ``num_updates`` times per round, which the fused serial loop beats.
+        probability buffer are reused across all updates; when the context's
+        dispatch policy routes the ``"refd"`` site to a pooled backend, the
+        per-update inference runs through :func:`evaluate_update` on that
+        pool instead — threads call it directly, the process backend ships
+        registry envelopes whose ``images`` element is the shared-memory
+        reference ref when the simulation published one
+        (``context.reference_ref``, used only when its shape matches
+        ``images``, i.e. no ``max_reference_samples`` truncation happened),
+        so each work item pickles just one parameter vector.  All capability
+        gating lives in :meth:`DispatchPolicy.fanout
+        <repro.fl.dispatch_policy.DispatchPolicy.fanout>`: a pickling
+        backend without the by-reference hand-off falls back here (``rows is
+        None``) and the fused serial loop runs — inlining the reference
+        tensor into every envelope would re-ship it ``num_updates`` times
+        per round, which the serial loop beats.
         """
         from ..fl.training import predict_proba  # local import to avoid cycles
 
-        executor = context.executor
-        if executor is not None and len(updates) > 1:
+        dispatch = dispatch_for(context)
+        if dispatch is not None and len(updates) > 1:
             images_payload: object = images
             reference_ref = getattr(context, "reference_ref", None)
             if (
@@ -256,14 +259,19 @@ class Refd(Defense):
                 and tuple(reference_ref.images.shape) == images.shape
             ):
                 images_payload = reference_ref.images
-            if pooled_fanout_ready(
-                executor, payload_by_ref=isinstance(images_payload, SharedArrayRef)
-            ):
-                payloads = [
-                    (context.model_factory, update.parameters, images_payload)
-                    for update in updates
-                ]
-                rows = executor.map_fn(EVALUATE_UPDATE_FANOUT, payloads)
+            payloads = [
+                (context.model_factory, update.parameters, images_payload)
+                for update in updates
+            ]
+            rows = dispatch.fanout(
+                "refd",
+                EVALUATE_UPDATE_FANOUT,
+                payloads,
+                work=float(len(updates))
+                * float(np.asarray(updates[0].parameters).size),
+                payload_by_ref=isinstance(images_payload, SharedArrayRef),
+            )
+            if rows is not None:
                 predicted = np.stack([row[0] for row in rows], axis=0)
                 max_probs = np.stack([row[1] for row in rows], axis=0).astype(np.float64)
                 return predicted, max_probs, rows[0][2]

@@ -67,6 +67,15 @@ class ExperimentConfig:
     # Reproducibility -------------------------------------------------------
     seed: int = 0
 
+    # Execution plane (not science) -----------------------------------------
+    dispatch: Optional[str] = None
+    """Dispatch-policy spec string (e.g. ``"adaptive"``, ``"process:4"``,
+    ``"adaptive,distance=serial"``) parsed by
+    :meth:`repro.fl.dispatch_policy.DispatchPolicy.parse`.  Pure execution
+    mechanics: it changes how work is scheduled, never the result, and is
+    therefore excluded from :meth:`to_dict` (so result caches and grid
+    config hashes are unaffected by it)."""
+
     # ------------------------------------------------------------------
     def __post_init__(self) -> None:
         if self.train_size < self.num_clients:
@@ -130,5 +139,12 @@ class ExperimentConfig:
         )
 
     def to_dict(self) -> Dict[str, Any]:
-        """Plain-dictionary form (useful for logging / serialization)."""
-        return asdict(self)
+        """Plain-dictionary form (useful for logging / serialization).
+
+        Excludes ``dispatch``: it is execution mechanics, not part of the
+        experiment's identity, so cache keys and stored configs stay stable
+        across machines with different dispatch settings.
+        """
+        data = asdict(self)
+        data.pop("dispatch", None)
+        return data

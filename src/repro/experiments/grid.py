@@ -36,12 +36,14 @@ from __future__ import annotations
 import hashlib
 import json
 import time
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..fl.dispatch_policy import DispatchPolicy
 from .config import ExperimentConfig
 from .dispatch import (
     ClaimLedger,
@@ -206,6 +208,9 @@ class GridStats:
     cells_skipped_shard: int = 0
     dataset_publications: int = 0
     wall_seconds: float = 0.0
+    dispatch_decisions: List[Dict[str, Any]] = field(default_factory=list)
+    """Per-call-site decision trace of the runner's dispatch policy (what
+    ``--stats-json`` surfaces)."""
 
 
 class GridExecutionError(RuntimeError):
@@ -269,10 +274,18 @@ class GridRunner:
 
     Parameters
     ----------
+    policy:
+        A :class:`~repro.fl.dispatch_policy.DispatchPolicy` (or spec string
+        such as ``"process:4"`` / ``"adaptive"``) governing the batch-level
+        ``"grid"`` dispatch site: before executing pending cells the runner
+        asks the policy whether to fan them out across worker processes and
+        with how many workers; a serial decision runs everything in the
+        calling process (no pool, no pickling requirements beyond the cache
+        files).
     workers:
-        Process count for scenario-level parallelism; ``1`` runs everything
-        in the calling process (no pool, no pickling requirements beyond the
-        cache files).
+        Deprecated alias: process count for scenario-level parallelism;
+        ``workers > 1`` maps to a fixed ``"process"`` policy and ``1`` to
+        the serial policy.
     cache_dir:
         Directory of per-scenario JSON artifacts; ``None`` disables caching.
         Artifacts are keyed by :func:`config_hash`, so re-running a grid after
@@ -332,7 +345,7 @@ class GridRunner:
 
     def __init__(
         self,
-        workers: int = 1,
+        workers: Optional[int] = None,
         cache_dir: Optional[PathLike] = None,
         progress: Optional[ProgressFn] = None,
         runner_id: Optional[str] = None,
@@ -340,12 +353,30 @@ class GridRunner:
         shard: Optional[Union[str, Tuple[int, int]]] = None,
         share_datasets: bool = True,
         wait_for_peers: bool = True,
+        policy=None,
     ) -> None:
-        if workers < 1:
-            raise ValueError("workers must be at least 1")
+        if workers is not None:
+            if workers < 1:
+                raise ValueError("workers must be at least 1")
+            if policy is not None:
+                raise ValueError(
+                    "GridRunner: pass either policy= or the deprecated workers=, not both"
+                )
+            warnings.warn(
+                "GridRunner: workers= is deprecated; pass policy= instead "
+                "(e.g. policy='process:4' or DispatchPolicy.adaptive())",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            policy = (
+                DispatchPolicy.fixed("process", workers=workers)
+                if workers > 1
+                else DispatchPolicy.serial()
+            )
         if claim_ttl is not None and cache_dir is None:
             raise ValueError("claim leases need a cache_dir to live in")
-        self.workers = workers
+        self.dispatch = DispatchPolicy.coerce(policy)
+        self.workers = 1
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.progress = progress
         self.runner_id = runner_id or default_runner_id()
@@ -755,6 +786,16 @@ class GridRunner:
                 else:
                     remaining.append((label, config))
 
+            # One batch-level dispatch decision for the whole set of pending
+            # cells: the "grid" site picks process fan-out (and the worker
+            # count) or the in-process serial path.
+            decision = self.dispatch.decide(
+                "grid", items=len(remaining), work=float(len(remaining))
+            )
+            self.workers = (
+                decision.workers if decision.backend == "process" else 1
+            )
+
             # Publish every distinct dataset of the sweep once per host; the
             # worker-pool initializer (or the in-process memo for workers=1)
             # makes cells attach instead of regenerating.  Clean baselines
@@ -804,6 +845,7 @@ class GridRunner:
                 stats.claims_lost = ledger.lost
             stats.failed = len(failures)
             stats.wall_seconds = time.perf_counter() - started
+            stats.dispatch_decisions = self.dispatch.trace_dicts()
             self.last_stats = stats
             self.last_failures = dict(failures)
 
@@ -827,12 +869,17 @@ class GridRunner:
 
 def run_grid(
     scenario_list: Sequence[Scenario],
-    workers: int = 1,
+    workers: Optional[int] = None,
     cache_dir: Optional[PathLike] = None,
     progress: Optional[ProgressFn] = None,
+    policy=None,
     **runner_kwargs,
 ) -> List[Tuple[str, ExperimentResult]]:
     """One-shot convenience wrapper around :class:`GridRunner`."""
     return GridRunner(
-        workers=workers, cache_dir=cache_dir, progress=progress, **runner_kwargs
+        workers=workers,
+        cache_dir=cache_dir,
+        progress=progress,
+        policy=policy,
+        **runner_kwargs,
     ).run(scenario_list)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -9,6 +10,7 @@ import numpy as np
 
 from ..attacks import DfaHyperParameters, build_attack
 from ..defenses import build_defense
+from ..fl.dispatch_policy import DispatchPolicy
 from ..fl.simulation import FederatedSimulation, SimulationResult
 from ..fl.types import LocalTrainingConfig, RoundRecord
 from ..metrics import attack_success_rate, defense_pass_rate, max_accuracy
@@ -18,6 +20,26 @@ from .config import ExperimentConfig
 __all__ = ["ExperimentResult", "ExperimentRunner", "build_simulation", "run_experiment"]
 
 _DFA_ATTACKS = {"dfa-r", "dfa-g", "dfa-hybrid", "real-data"}
+
+
+def _policy_from_legacy(policy, executor, workers, caller: str):
+    """Resolve the deprecated ``executor=``/``workers=`` kwargs to a policy.
+
+    Returns ``policy`` untouched when neither legacy kwarg is set; otherwise
+    warns once and converts them via
+    :meth:`~repro.fl.dispatch_policy.DispatchPolicy.from_legacy`.
+    """
+    if executor is None and workers is None:
+        return policy
+    if policy is not None:
+        raise ValueError(f"{caller}: pass either policy= or the deprecated executor=/workers=, not both")
+    warnings.warn(
+        f"{caller}: executor=/workers= are deprecated; pass policy= instead "
+        "(e.g. policy='process:2' or DispatchPolicy.adaptive())",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return DispatchPolicy.from_legacy(executor, workers)
 
 
 @dataclass
@@ -55,19 +77,31 @@ def _attack_kwargs_for(config: ExperimentConfig) -> Dict:
 
 
 def build_simulation(
-    config: ExperimentConfig, executor=None, workers: Optional[int] = None, task=None
+    config: ExperimentConfig,
+    executor=None,
+    workers: Optional[int] = None,
+    task=None,
+    policy=None,
 ) -> FederatedSimulation:
     """Construct the simulation (task, model factory, attack, defense) for a config.
 
-    ``executor`` selects the benign-client fan-out backend (see
-    :class:`~repro.fl.simulation.FederatedSimulation`); the model factory is
-    a picklable :class:`~repro.models.ClassifierFactory`, so the ``"process"``
-    backend works out of the box.  ``task`` injects a pre-built dataset task
-    for the config — the grid dispatch layer passes the grid-level shared
-    publication (read-only views into one per-dataset shm segment) so a
-    sweep's cells skip both regeneration and re-publication; it must match
-    what ``load_dataset`` would produce for the config's dataset fields.
+    ``policy`` selects the dispatch backend for the simulation's hot paths
+    (see :class:`~repro.fl.dispatch_policy.DispatchPolicy`); it accepts a
+    policy object, a spec string (``"adaptive"``, ``"process:2"``) or a
+    :class:`~repro.fl.executor.ClientExecutor` instance to pin.  When
+    omitted, ``config.dispatch`` (a spec string) is used if set.  The model
+    factory is a picklable :class:`~repro.models.ClassifierFactory`, so the
+    ``"process"`` backend works out of the box.  ``executor``/``workers``
+    are deprecated aliases for ``policy``.  ``task`` injects a pre-built
+    dataset task for the config — the grid dispatch layer passes the
+    grid-level shared publication (read-only views into one per-dataset shm
+    segment) so a sweep's cells skip both regeneration and re-publication;
+    it must match what ``load_dataset`` would produce for the config's
+    dataset fields.
     """
+    policy = _policy_from_legacy(policy, executor, workers, "build_simulation")
+    if policy is None and config.dispatch:
+        policy = DispatchPolicy.parse(config.dispatch)
     if task is None:
         from .dispatch import load_task_for  # local import: dispatch pulls in shm machinery
 
@@ -96,8 +130,7 @@ def build_simulation(
         reference_fraction=config.reference_fraction,
         assumed_malicious_fraction=config.assumed_malicious_fraction,
         seed=config.seed,
-        executor=executor,
-        workers=workers,
+        policy=policy,
     )
 
 
@@ -107,16 +140,19 @@ def run_experiment(
     executor=None,
     workers: Optional[int] = None,
     task=None,
+    policy=None,
 ) -> ExperimentResult:
     """Run one experiment and compute accuracy / ASR / DPR.
 
     ``baseline_accuracy`` is the clean accuracy ``acc`` used by Eq. 4; when
     omitted, ASR is left as ``None`` (use :class:`ExperimentRunner` to manage
-    baselines automatically).  ``executor``/``workers`` select the
-    client-level fan-out backend of the underlying simulation; ``task``
-    injects a pre-built dataset (see :func:`build_simulation`).
+    baselines automatically).  ``policy`` selects the dispatch backend of
+    the underlying simulation (``executor``/``workers`` are deprecated
+    aliases); ``task`` injects a pre-built dataset (see
+    :func:`build_simulation`).
     """
-    with build_simulation(config, executor=executor, workers=workers, task=task) as simulation:
+    policy = _policy_from_legacy(policy, executor, workers, "run_experiment")
+    with build_simulation(config, task=task, policy=policy) as simulation:
         result = simulation.run(config.num_rounds)
     synthesis_losses: List[List[float]] = []
     if simulation.attack is not None:
@@ -144,11 +180,12 @@ class ExperimentRunner:
     baseline runs.
     """
 
-    def __init__(self, executor=None, workers: Optional[int] = None) -> None:
+    def __init__(
+        self, executor=None, workers: Optional[int] = None, policy=None
+    ) -> None:
         self._baseline_cache: Dict[Tuple, float] = {}
         self._result_cache: Dict[str, ExperimentResult] = {}
-        self._executor = executor
-        self._workers = workers
+        self._policy = _policy_from_legacy(policy, executor, workers, "ExperimentRunner")
 
     @staticmethod
     def _config_key(config: ExperimentConfig) -> str:
@@ -159,7 +196,7 @@ class ExperimentRunner:
         key = config.baseline_key()
         if key not in self._baseline_cache:
             clean = config.clean_variant()
-            result = run_experiment(clean, executor=self._executor, workers=self._workers)
+            result = run_experiment(clean, policy=self._policy)
             self._baseline_cache[key] = result.max_accuracy
         return self._baseline_cache[key]
 
@@ -177,24 +214,46 @@ class ExperimentRunner:
         result = run_experiment(
             config,
             baseline_accuracy=baseline,
-            executor=self._executor,
-            workers=self._workers,
+            policy=self._policy,
         )
         if use_cache:
             self._result_cache[key] = result
         return result
 
     def run_many(
-        self, configs: List[ExperimentConfig], workers: int = 1
+        self,
+        configs: List[ExperimentConfig],
+        workers: Optional[int] = None,
+        policy=None,
     ) -> List[ExperimentResult]:
         """Run a list of experiments, optionally across worker processes.
 
-        With ``workers > 1`` the batch is dispatched through
+        ``policy`` governs the batch-level (``"grid"`` site) dispatch: a
+        fixed ``"process"`` policy or an adaptive policy whose cost model
+        picks ``"process"`` for the batch routes it through
         :class:`~repro.experiments.grid.GridRunner` (scenario-level
-        parallelism); results still come back in input order, and are merged
-        into this runner's in-memory cache afterwards.
+        parallelism); anything else runs the batch serially through
+        :meth:`run`.  ``workers`` is the deprecated spelling (``workers > 1``
+        maps to a fixed process policy).  Results come back in input order
+        and are merged into this runner's in-memory cache afterwards.
         """
-        if workers <= 1:
+        if workers is not None:
+            if policy is not None:
+                raise ValueError("run_many: pass either policy= or the deprecated workers=, not both")
+            warnings.warn(
+                "run_many: workers= is deprecated; pass policy= instead "
+                "(e.g. policy='process:2')",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            policy = (
+                DispatchPolicy.fixed("process", workers=workers)
+                if workers > 1
+                else DispatchPolicy.serial()
+            )
+        policy = DispatchPolicy.coerce(policy)
+        decision = policy.decide("grid", items=len(configs), work=float(len(configs)))
+        if decision.backend != "process" or (decision.workers or 1) <= 1:
             return [self.run(config) for config in configs]
         from .grid import GridRunner  # local import: grid depends on this module
 
@@ -206,7 +265,7 @@ class ExperimentRunner:
             if self._config_key(config) not in self._result_cache
         ]
         executed = {
-            label: result for label, result in GridRunner(workers=workers).run(pending)
+            label: result for label, result in GridRunner(policy=policy).run(pending)
         }
         results: List[ExperimentResult] = []
         for index, config in enumerate(configs):

@@ -2,6 +2,14 @@
 
 from .aggregation import fedavg, stack_updates, unweighted_average
 from .client import BenignClient
+from .dispatch_policy import (
+    BenchRecord,
+    CostModel,
+    DispatchDecision,
+    DispatchPolicy,
+    DistanceCache,
+    dispatch_for,
+)
 from .executor import (
     ClientExecutor,
     ClientTask,
@@ -30,6 +38,12 @@ __all__ = [
     "unweighted_average",
     "stack_updates",
     "BenignClient",
+    "BenchRecord",
+    "CostModel",
+    "DispatchDecision",
+    "DispatchPolicy",
+    "DistanceCache",
+    "dispatch_for",
     "ClientExecutor",
     "ClientTask",
     "ClientTaskResult",

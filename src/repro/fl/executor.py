@@ -543,6 +543,13 @@ class ClientExecutor:
         """
         return None
 
+    def counter_snapshot(self) -> Dict[str, int]:
+        """This executor's observability counters (empty for stateless
+        backends).  :meth:`DispatchPolicy.counter_snapshot
+        <repro.fl.dispatch_policy.DispatchPolicy.counter_snapshot>` merges
+        these into the per-policy view surfaced by ``--stats-json``."""
+        return {}
+
     def close(self) -> None:
         """Release any pooled workers (idempotent)."""
 
@@ -722,6 +729,14 @@ class ParallelExecutor(ClientExecutor):
         self.published_stores += 1
         return store
 
+    def counter_snapshot(self) -> Dict[str, int]:
+        return {
+            "shm_rounds": self.shm_rounds,
+            "shard_rounds": self.shard_rounds,
+            "fanout_calls": self.fanout_calls,
+            "published_stores": self.published_stores,
+        }
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
@@ -739,7 +754,12 @@ def build_executor(
     spec: Union[None, str, ClientExecutor], workers: Optional[int] = None
 ) -> ClientExecutor:
     """Resolve an executor from a name (``serial``/``thread``/``process``),
-    an existing instance (returned as-is), or ``None`` (serial)."""
+    an existing instance (returned as-is), or ``None`` (serial).
+
+    Low-level mechanism used by the dispatch layer; user-facing entry points
+    take a :class:`~repro.fl.dispatch_policy.DispatchPolicy` instead, which
+    decides *when* each backend is worth using.
+    """
     if spec is None:
         return SerialExecutor()
     if isinstance(spec, ClientExecutor):

@@ -38,6 +38,7 @@ class Server:
         seed: int = 0,
         executor=None,
         reference_ref=None,
+        dispatch=None,
     ) -> None:
         self.model_factory = model_factory
         self.defense = defense or NoDefense()
@@ -45,6 +46,7 @@ class Server:
         self.reference_dataset = reference_dataset
         self.executor = executor
         self.reference_ref = reference_ref
+        self.dispatch = dispatch
         self._rng = np.random.default_rng(seed)
         self.global_model = model_factory()
         self.flat_params = FlatParams.from_module(self.global_model)
@@ -75,6 +77,7 @@ class Server:
             reference_dataset=self.reference_dataset,
             executor=self.executor,
             reference_ref=self.reference_ref,
+            dispatch=self.dispatch,
         )
         result = self.defense.aggregate(list(updates), context)
         self.previous_global_params = self.global_params

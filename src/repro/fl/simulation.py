@@ -9,6 +9,7 @@ defense, and produces the per-round records from which the paper's metrics
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -19,7 +20,8 @@ from ..data.synthetic import SyntheticImageTask
 from ..defenses.base import Defense, NoDefense
 from ..nn.modules import Module
 from .client import BenignClient
-from .executor import ClientExecutor, ShardRef, SharedArrayStore, build_executor
+from .dispatch_policy import DispatchPolicy
+from .executor import ClientExecutor, ShardRef, SharedArrayStore
 from .selection import ClientSelector, UniformSelector
 from .server import Server
 from .types import AttackRoundContext, LocalTrainingConfig, ModelUpdate, RoundRecord
@@ -76,16 +78,19 @@ class FederatedSimulation:
         Fraction of the *test* split handed to the server as the REFD
         reference dataset (the remaining samples are used for evaluation to
         avoid leakage).  Only relevant when the defense needs it.
-    executor:
-        Backend running the benign-client fan-out each round: a
-        :class:`~repro.fl.executor.ClientExecutor` instance or one of the
-        names ``"serial"`` / ``"thread"`` / ``"process"``.  ``None`` (the
-        default) runs serially.  All backends are bit-identical for a given
-        seed; ``"process"`` additionally requires ``model_factory`` to be
-        picklable (e.g. :class:`repro.models.ClassifierFactory`).  With a
-        process backend the simulation also publishes every benign client's
-        round-invariant data shard (and the defense's reference arrays) in
-        a once-per-simulation shared-memory
+    policy:
+        The :class:`~repro.fl.dispatch_policy.DispatchPolicy` routing the
+        round's client fan-out and the defenses' per-update / row-block
+        work — ``DispatchPolicy.serial()`` (``None``, the default),
+        ``DispatchPolicy.fixed("process", workers=4)``,
+        ``DispatchPolicy.adaptive()`` (benchmark-calibrated per-call
+        decisions), or a spec string like ``"process:4"``.  All backends
+        are bit-identical for a given seed; process backends additionally
+        require ``model_factory`` to be picklable (e.g.
+        :class:`repro.models.ClassifierFactory`).  When the planned round
+        backend is a shared-memory process pool, the simulation publishes
+        every benign client's round-invariant data shard (and the defense's
+        reference arrays) in a once-per-simulation shared-memory
         :class:`~repro.fl.executor.SharedArrayStore`, so per-round task
         payloads stay tiny.  Defense matrices that change every round (the
         distance plane's stacked update matrix, REFD's parameter vectors)
@@ -93,6 +98,11 @@ class FederatedSimulation:
         :meth:`~repro.fl.executor.ClientExecutor.publish_arrays` and the
         per-round parameter lease, so the store holds only round-invariant
         data.
+    executor, workers:
+        Deprecated — pass ``policy`` instead.  ``executor=`` accepts what
+        it always did (an executor instance or a backend name) and, with
+        ``workers=``, maps onto the equivalent policy with a
+        ``DeprecationWarning``.
     """
 
     def __init__(
@@ -111,6 +121,7 @@ class FederatedSimulation:
         assumed_malicious_fraction: Optional[float] = None,
         eval_batch_size: int = 256,
         seed: int = 0,
+        policy=None,
         executor=None,
         workers: Optional[int] = None,
     ) -> None:
@@ -120,6 +131,20 @@ class FederatedSimulation:
             raise ValueError("clients_per_round must be in [1, num_clients]")
         if not 0.0 <= malicious_fraction < 1.0:
             raise ValueError("malicious_fraction must be in [0, 1)")
+        if executor is not None or workers is not None:
+            warnings.warn(
+                "FederatedSimulation(executor=..., workers=...) is deprecated; "
+                "pass policy=DispatchPolicy.fixed(...) / DispatchPolicy.for_executor(...) "
+                "instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if policy is not None:
+                raise ValueError(
+                    "pass either policy= or the deprecated executor=/workers= "
+                    "arguments, not both"
+                )
+            policy = DispatchPolicy.from_legacy(executor, workers)
         self.task = task
         self.model_factory = model_factory
         self.num_clients = num_clients
@@ -130,7 +155,22 @@ class FederatedSimulation:
         self.training_config = training_config or LocalTrainingConfig()
         self.selector = selector or UniformSelector()
         self.eval_batch_size = eval_batch_size
-        self.executor: ClientExecutor = build_executor(executor, workers=workers)
+        self.dispatch: DispatchPolicy = DispatchPolicy.coerce(policy)
+        # Plan the round backend up front: the shard store only pays for
+        # itself when rounds actually reach a shared-memory process pool.
+        # Adaptive mode needs the problem size, so probe the model dimension
+        # once; per-round calls re-decide with the actual task geometry.
+        plan_work = None
+        if self.dispatch.is_adaptive:
+            from ..nn.serialization import get_flat_params
+
+            plan_work = float(clients_per_round) * float(
+                get_flat_params(model_factory()).size
+            )
+        round_plan = self.dispatch.decide(
+            "round", items=clients_per_round, work=plan_work
+        )
+        self.executor: ClientExecutor = self.dispatch.executor_for(round_plan)
         self._rng = np.random.default_rng(seed)
 
         self._partition_clients(seed)
@@ -153,6 +193,7 @@ class FederatedSimulation:
             seed=seed + 17,
             executor=self.executor,
             reference_ref=reference_ref,
+            dispatch=self.dispatch,
         )
 
     # ------------------------------------------------------------------
@@ -279,7 +320,7 @@ class FederatedSimulation:
         ]
         benign_updates: List[ModelUpdate] = [
             self.benign_clients[result.client_id].consume_result(result)
-            for result in self.executor.map(tasks)
+            for result in self.dispatch.map_tasks(tasks)
         ]
 
         malicious_updates: List[ModelUpdate] = []
@@ -341,7 +382,7 @@ class FederatedSimulation:
 
     def close(self) -> None:
         """Release pooled executor workers and the shared-memory shard store."""
-        self.executor.close()
+        self.dispatch.close()
         if self._shard_store is not None:
             self._shard_store.close()
             self._shard_store = None

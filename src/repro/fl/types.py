@@ -120,6 +120,15 @@ class DefenseContext:
     :class:`~repro.fl.executor.ShardRef`), available when the simulation
     runs a process executor with its shard store enabled: fan-out payloads
     then reference the segment instead of pickling the images per update.
+
+    ``dispatch`` is the simulation's
+    :class:`~repro.fl.dispatch_policy.DispatchPolicy`.  Defenses should not
+    probe ``executor`` capabilities themselves — they hand per-update or
+    per-row-block work to
+    :meth:`~repro.fl.dispatch_policy.DispatchPolicy.fanout` (usually via
+    :func:`~repro.fl.dispatch_policy.dispatch_for`, which also adapts
+    legacy contexts that only carry ``executor``) and let the policy pick
+    the backend from its benchmark-calibrated cost model.
     """
 
     round_number: int
@@ -130,6 +139,7 @@ class DefenseContext:
     reference_dataset: Optional["object"] = None
     executor: Optional["object"] = None
     reference_ref: Optional["object"] = None
+    dispatch: Optional["object"] = None
 
 
 @dataclass

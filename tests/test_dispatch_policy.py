@@ -1,0 +1,423 @@
+"""Tests for the unified dispatch policy: cost model, cache, shims, parity."""
+
+from __future__ import annotations
+
+import json
+import warnings
+from pathlib import Path
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.defenses import Bulyan, Krum
+from repro.defenses.distances import pairwise_cosine_similarities, pairwise_sq_distances
+from repro.experiments import ExperimentRunner, GridRunner, smoke_scale
+from repro.experiments.runner import build_simulation
+from repro.fl.dispatch_policy import (
+    BenchRecord,
+    CostModel,
+    DispatchPolicy,
+    DistanceCache,
+    dispatch_for,
+)
+from repro.fl.executor import ParallelExecutor, SerialExecutor, ThreadedExecutor
+from repro.fl.types import DefenseContext, ModelUpdate
+
+LEDGER_PATH = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
+
+
+def _synthetic_model() -> CostModel:
+    """A hand-calibrated model with a known serial/process crossover.
+
+    At the recorded scale (items=8, work=8e4): serial 10ms, process 20ms —
+    pooling loses.  Scaling work x1000 with the same item count leaves the
+    per-item overhead constant while the compute halves across 2 workers,
+    so process wins decisively.
+    """
+    return CostModel(
+        [
+            BenchRecord(
+                site="refd",
+                backend="process",
+                items=8,
+                work=8e4,
+                serial_s=0.01,
+                parallel_s=0.02,
+                workers=2,
+            )
+        ]
+    )
+
+
+class TestCostModel:
+    def test_golden_decision_table(self):
+        model = _synthetic_model()
+        table = [
+            # (items, work, workers) -> expected backend
+            ((8, 8e4, 2), "serial"),  # bench scale: pooling measured slower
+            ((8, 8e7, 2), "process"),  # 1000x work: compute dominates overhead
+            ((8, 8e7, 1), "serial"),  # one worker can never win
+            ((1, 8e7, 2), "serial"),  # single item: nothing to fan out
+            ((8, None, 2), "serial"),  # unknown work: stay serial
+        ]
+        for (items, work, workers), expected in table:
+            backend, reason, _, _ = model.choose(
+                "refd", items=items, work=work, workers=workers
+            )
+            assert backend == expected, (items, work, workers, reason)
+
+    def test_serial_bias_margin(self):
+        # Pooled estimate must beat margin * serial, not merely tie it.
+        model = _synthetic_model()
+        est_serial = model.estimate_serial("refd", 8e4)
+        est_par = model.estimate_parallel("refd", "process", 8e4, items=8, workers=2)
+        assert est_serial == pytest.approx(0.01)
+        assert est_par == pytest.approx(0.02)
+        # Find roughly where the raw estimates tie and check the margin keeps
+        # the decision serial there.
+        work = 8e4
+        while True:
+            est_serial = model.estimate_serial("refd", work)
+            est_par = model.estimate_parallel("refd", "process", work, 8, 2)
+            if est_par < est_serial:
+                break
+            work *= 1.5
+        if est_par >= model.margin * est_serial:
+            backend, _, _, _ = model.choose("refd", items=8, work=work, workers=2)
+            assert backend == "serial"
+
+    def test_grid_site_rule(self):
+        model = CostModel()
+        assert model.choose("grid", items=6, work=6.0, workers=4)[0] == "process"
+        assert model.choose("grid", items=1, work=1.0, workers=4)[0] == "serial"
+        assert model.choose("grid", items=6, work=6.0, workers=1)[0] == "serial"
+
+    def test_from_ledger_dispatch_sites_shape(self):
+        payload = {
+            "results": {
+                "dispatch_sites": [
+                    {
+                        "site": "refd",
+                        "backend": "process",
+                        "items": 8,
+                        "work": 8e4,
+                        "serial_s": 0.01,
+                        "parallel_s": 0.02,
+                        "workers": 2,
+                    }
+                ]
+            }
+        }
+        model = CostModel.from_ledger(payload)
+        assert model.choose("refd", items=8, work=8e4, workers=2)[0] == "serial"
+        assert model.choose("refd", items=8, work=8e7, workers=2)[0] == "process"
+
+    def test_from_ledger_legacy_shape(self, tmp_path):
+        payload = {
+            "results": {
+                "refd_fanout": {"serial_s": 0.012, "process_s": 0.0195, "workers": 2},
+                "round_dispatch": {"inline_s": 0.11, "shm_s": 0.13},
+                "e2e_round": {"current_s": 0.104},
+            }
+        }
+        path = tmp_path / "ledger.json"
+        path.write_text(json.dumps(payload))
+        model = CostModel.from_ledger(path)
+        # The measured refd fan-out lost at bench scale -> serial there.
+        assert model.choose("refd", items=8, work=8 * 3818.0, workers=2)[0] == "serial"
+        # shm cost 20ms slower than inline -> crossover well above tiny payloads.
+        assert model.shm_min_bytes > 1 << 20
+
+    def test_committed_ledger_pins_distance_serial_at_bench_scale(self):
+        # Regression guard for the ledger-documented 0.12x distance-block
+        # fan-out: at bench scale (4 blocks of a 10x100k matrix) the model
+        # built from the committed ledger must keep the row blocks inline.
+        model = CostModel.from_ledger(LEDGER_PATH)
+        backend, reason, _, _ = model.choose(
+            "distance", items=4, work=10 * 10 * 100_000.0, workers=2
+        )
+        assert backend == "serial", reason
+
+    def test_adaptive_pairwise_stays_serial_at_bench_scale(self):
+        policy = DispatchPolicy.adaptive(
+            workers=2, cost_model=CostModel.from_ledger(LEDGER_PATH)
+        )
+        matrix = np.random.default_rng(0).normal(size=(10, 4096)).astype(np.float32)
+        pairwise_sq_distances(matrix, dispatch=policy)
+        distance_decisions = [d for d in policy.trace if d.site == "distance"]
+        assert distance_decisions, "distance site never consulted"
+        assert all(d.backend == "serial" for d in distance_decisions)
+
+    def test_bad_site_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel([BenchRecord("bogus", "process", 8, 8e4, 0.01, 0.02)])
+
+
+class TestParseAndCoerce:
+    def test_parse_specs(self):
+        assert DispatchPolicy.parse("serial").backend == "serial"
+        policy = DispatchPolicy.parse("process:4")
+        assert policy.backend == "process" and policy.workers == 4
+        policy = DispatchPolicy.parse("adaptive:2,distance=serial")
+        assert policy.is_adaptive and policy.workers == 2
+        assert policy.overrides == {"distance": "serial"}
+        assert DispatchPolicy.parse(None).backend == "serial"
+        assert DispatchPolicy.parse("").backend == "serial"
+        existing = DispatchPolicy.serial()
+        assert DispatchPolicy.parse(existing) is existing
+
+    def test_parse_errors(self):
+        with pytest.raises(ValueError):
+            DispatchPolicy.parse("bogus")
+        with pytest.raises(ValueError):
+            DispatchPolicy.parse("adaptive,distance")
+        with pytest.raises(ValueError):
+            DispatchPolicy.parse("adaptive,bogus=serial")
+        with pytest.raises(ValueError):
+            DispatchPolicy.parse("adaptive,distance=bogus")
+
+    def test_coerce(self):
+        assert DispatchPolicy.coerce(None).backend == "serial"
+        executor = SerialExecutor()
+        assert DispatchPolicy.coerce(executor)._pinned is executor
+        assert DispatchPolicy.coerce("thread:2").backend == "thread"
+
+    def test_from_legacy_matches_build_executor_semantics(self):
+        # build_executor(None, workers) ignored workers -> serial.
+        assert DispatchPolicy.from_legacy(None, 4).backend == "serial"
+        policy = DispatchPolicy.from_legacy("thread", 2)
+        assert policy.backend == "thread" and policy.workers == 2
+
+
+class TestPinningAndOverrides:
+    def test_for_executor_is_cached_per_instance(self):
+        executor = ThreadedExecutor(workers=2)
+        try:
+            p1 = DispatchPolicy.for_executor(executor)
+            p2 = dispatch_for(SimpleNamespace(dispatch=None, executor=executor))
+            assert p1 is p2
+            decision = p1.decide("refd", items=4, work=1e3)
+            assert decision.backend == "thread"
+            assert p1.executor_for(decision) is executor
+        finally:
+            executor.close()
+
+    def test_dispatch_for_prefers_context_dispatch(self):
+        policy = DispatchPolicy.serial()
+        context = SimpleNamespace(dispatch=policy, executor=ThreadedExecutor(workers=2))
+        try:
+            assert dispatch_for(context) is policy
+            assert dispatch_for(SimpleNamespace(dispatch=None, executor=None)) is None
+        finally:
+            context.executor.close()
+
+    def test_overrides_pin_sites(self):
+        policy = DispatchPolicy.adaptive(workers=2, overrides={"distance": "serial"})
+        decision = policy.decide("distance", items=8, work=1e12)
+        assert decision.backend == "serial"
+        assert "override" in decision.reason
+        with pytest.raises(ValueError):
+            DispatchPolicy.adaptive(overrides={"distance": "bogus"})
+        with pytest.raises(ValueError):
+            DispatchPolicy.adaptive(overrides={"bogus": "serial"})
+
+    def test_trace_deduplicates_with_counts(self):
+        policy = DispatchPolicy.serial()
+        policy.decide("round", items=4, work=10.0)
+        policy.decide("round", items=4, work=10.0)
+        policy.decide("refd", items=4, work=10.0)
+        assert len(policy.trace) == 2
+        round_entry = next(d for d in policy.trace if d.site == "round")
+        assert round_entry.count == 2
+        snapshot = policy.counter_snapshot()
+        assert snapshot["decisions"] == 3
+        assert snapshot["serial"] == 3
+        assert "distance_cache_hits" in snapshot
+        dicts = policy.trace_dicts()
+        assert all({"site", "backend", "reason", "count"} <= set(d) for d in dicts)
+
+
+class TestDeprecationShims:
+    def test_experiment_runner_workers_kwarg_warns(self):
+        with pytest.warns(DeprecationWarning, match="policy="):
+            ExperimentRunner(workers=2)
+
+    def test_grid_runner_workers_kwarg_warns(self):
+        with pytest.warns(DeprecationWarning, match="policy="):
+            GridRunner(workers=2)
+        with pytest.raises(ValueError):
+            GridRunner(workers=0)
+        with pytest.raises(ValueError):
+            GridRunner(workers=2, policy="serial")
+
+    def test_build_simulation_executor_kwarg_warns(self):
+        config = smoke_scale("fashion-mnist", defense="fedavg")
+        with pytest.warns(DeprecationWarning, match="policy="):
+            simulation = build_simulation(config, executor="thread", workers=2)
+        try:
+            assert isinstance(simulation.executor, ThreadedExecutor)
+        finally:
+            simulation.close()
+
+    def test_policy_and_legacy_kwargs_conflict(self):
+        config = smoke_scale("fashion-mnist", defense="fedavg")
+        with pytest.raises(ValueError):
+            build_simulation(config, executor="thread", policy="serial")
+
+    def test_policy_kwarg_warns_nothing(self):
+        config = smoke_scale("fashion-mnist", defense="fedavg")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            simulation = build_simulation(config, policy="serial")
+        try:
+            assert isinstance(simulation.executor, SerialExecutor)
+        finally:
+            simulation.close()
+
+    def test_config_dispatch_field_sets_policy_but_not_identity(self):
+        config = smoke_scale("fashion-mnist", defense="fedavg")
+        tuned = config.with_overrides(dispatch="thread:2")
+        assert tuned.to_dict() == config.to_dict()
+        simulation = build_simulation(tuned)
+        try:
+            assert isinstance(simulation.executor, ThreadedExecutor)
+        finally:
+            simulation.close()
+
+
+class TestMidRunBackendSwitchParity:
+    def test_bitwise_parity_across_backend_switches(self):
+        config = smoke_scale(
+            "fashion-mnist", attack="lie", defense="mkrum", num_rounds=3
+        )
+
+        with build_simulation(config, policy="serial") as simulation:
+            for _ in range(3):
+                simulation.run_round()
+            reference = simulation.server.global_params.copy()
+
+        policy = DispatchPolicy.fixed("serial")
+        with build_simulation(config, policy=policy) as simulation:
+            simulation.run_round()  # round 1: serial
+            policy.overrides.update(
+                {"round": "thread", "distance": "thread", "refd": "thread"}
+            )
+            policy.workers = 2
+            simulation.run_round()  # round 2: threads
+            policy.overrides.update(
+                {"round": "process", "distance": "process", "refd": "process"}
+            )
+            simulation.run_round()  # round 3: processes
+            switched = simulation.server.global_params.copy()
+            backends = {d.backend for d in policy.trace}
+
+        assert np.array_equal(reference, switched)
+        assert {"serial", "thread", "process"} <= backends
+
+
+class TestDistanceCache:
+    def test_row_digests_are_content_exact(self):
+        matrix = np.arange(12, dtype=np.float64).reshape(3, 4)
+        digests = DistanceCache.row_digests(matrix)
+        assert digests == DistanceCache.row_digests(matrix.copy())
+        bumped = matrix.copy()
+        bumped[1, 2] = np.nextafter(bumped[1, 2], np.inf)  # a single ulp
+        assert digests[1] != DistanceCache.row_digests(bumped)[1]
+
+    def test_repeat_call_hits_every_pair(self):
+        rng = np.random.default_rng(1)
+        matrix = rng.normal(size=(6, 64)).astype(np.float32)
+        policy = DispatchPolicy.serial()
+        first = pairwise_sq_distances(matrix, dispatch=policy)
+        hits_before = policy.distance_cache.hits
+        second = pairwise_sq_distances(matrix, dispatch=policy)
+        assert np.array_equal(first, second)
+        assert policy.distance_cache.hits - hits_before == 6 * 7 // 2
+        assert np.array_equal(first, pairwise_sq_distances(matrix))
+
+    def test_mutation_invalidates_exactly_affected_pairs(self):
+        rng = np.random.default_rng(2)
+        matrix = rng.normal(size=(6, 64)).astype(np.float32)
+        policy = DispatchPolicy.serial()
+        pairwise_sq_distances(matrix, dispatch=policy)
+
+        mutated = matrix.copy()
+        mutated[3] += 1.0
+        hits_before = policy.distance_cache.hits
+        misses_before = policy.distance_cache.misses
+        cached = pairwise_sq_distances(mutated, dispatch=policy)
+        # Row 3 participates in 6 of the 21 unordered pairs (incl. (3,3));
+        # the other 15 pairs must come straight from the cache.
+        assert policy.distance_cache.misses - misses_before == 6
+        assert policy.distance_cache.hits - hits_before == 15
+        assert np.array_equal(cached, pairwise_sq_distances(mutated))
+
+    def test_krum_bulyan_selections_bitwise_stable_across_cache_hits(self):
+        rng = np.random.default_rng(3)
+        updates = [
+            ModelUpdate(client_id=i, parameters=rng.normal(size=256).astype(np.float32), num_samples=10)
+            for i in range(8)
+        ]
+        policy = DispatchPolicy.serial()
+
+        def context():
+            return DefenseContext(
+                round_number=0,
+                global_params=np.zeros(256, dtype=np.float32),
+                expected_num_malicious=2,
+                rng=np.random.default_rng(0),
+                dispatch=policy,
+            )
+
+        for defense in (Krum(), Bulyan()):
+            cold = defense.aggregate(list(updates), context())
+            hits_before = policy.distance_cache.hits
+            warm = defense.aggregate(list(updates), context())
+            assert policy.distance_cache.hits > hits_before
+            assert cold.accepted_client_ids == warm.accepted_client_ids
+            assert np.array_equal(cold.new_params, warm.new_params)
+
+    def test_cosine_epsilon_namespaces_do_not_cross_hit(self):
+        rng = np.random.default_rng(4)
+        matrix = rng.normal(size=(5, 64)).astype(np.float64)
+        policy = DispatchPolicy.serial()
+        base = pairwise_cosine_similarities(matrix, epsilon=0.0, dispatch=policy)
+        misses_before = policy.distance_cache.misses
+        other = pairwise_cosine_similarities(matrix, epsilon=1e-3, dispatch=policy)
+        # A different epsilon renormalizes the rows: different namespace,
+        # zero reuse, and the values genuinely differ.
+        assert policy.distance_cache.misses - misses_before == 5 * 6 // 2
+        assert not np.array_equal(base, other)
+        repeat = pairwise_cosine_similarities(matrix, epsilon=1e-3, dispatch=policy)
+        assert np.array_equal(other, repeat)
+
+    def test_fifo_bound_evicts(self):
+        cache = DistanceCache(max_pairs=2)
+        ns = ("sq", 4, "<f8")
+        cache.put(ns, b"a", b"b", 1.0)
+        cache.put(ns, b"a", b"c", 2.0)
+        cache.put(ns, b"a", b"d", 3.0)
+        assert len(cache) == 2
+        assert cache.evictions == 1
+
+
+class TestGridPolicy:
+    def test_grid_stats_carry_dispatch_trace(self, tmp_path):
+        grid = [
+            (
+                "cell/0",
+                smoke_scale("fashion-mnist", attack=None, defense="fedavg"),
+            )
+        ]
+        runner = GridRunner(policy="serial", cache_dir=tmp_path)
+        runner.run(grid)
+        decisions = runner.last_stats.dispatch_decisions
+        assert decisions and any(d["site"] == "grid" for d in decisions)
+
+    def test_run_many_policy_serial_matches_run(self):
+        configs = [smoke_scale("fashion-mnist", attack=None, defense="fedavg")]
+        runner = ExperimentRunner()
+        results = runner.run_many(configs, policy="serial")
+        assert len(results) == 1
+        assert results[0].max_accuracy == runner.run(configs[0]).max_accuracy
