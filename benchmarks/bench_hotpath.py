@@ -43,6 +43,7 @@ from repro.defenses import Refd
 from repro.defenses.distances import pairwise_sq_distances
 from repro.experiments import benchmark_scale, build_simulation
 from repro.fl.dispatch_policy import CostModel, DispatchPolicy
+from repro.fl.faults import ResilienceConfig
 from repro.fl.executor import (
     ParallelExecutor,
     ShardRef,
@@ -95,6 +96,10 @@ CHECK_THRESHOLDS = {
     # its headline is min(speedup vs serial, speedup vs best static), so the
     # bound asserts it is never more than ~10% slower than either.
     "adaptive_dispatch": 0.9,
+    # Overhead bound for the fault-tolerance plane: a round under an armed
+    # (but event-free) ResilienceConfig must stay within ~2% of the plain
+    # round loop — the recovery machinery may not tax the fault-free path.
+    "fault_hooks": 0.98,
 }
 
 
@@ -790,6 +795,42 @@ def bench_adaptive_dispatch(repeats: int, results) -> Dict[str, object]:
     return out
 
 
+def bench_fault_hooks(repeats: int) -> Dict[str, float]:
+    """Fault-free round with the recovery plane armed vs the plain loop.
+
+    Both legs run serially on identical configs; the resilient leg carries a
+    full ``ResilienceConfig`` (retry budget, backoff, stats) but no fault
+    plan and no deadline, so every hook is live and every fault is absent —
+    exactly the production posture of a long sweep run with ``--max-retries``
+    as insurance.  The "speedup" is plain/resilient: 1.0 means free, and the
+    CI bound holds it above 0.98 (≤ ~2% overhead).
+    """
+    config = _e2e_config()
+    rounds = max(3, repeats // 5)
+    plain_best = float("inf")
+    resilient_best = float("inf")
+    resilience = ResilienceConfig(max_retries=2)
+    with build_simulation(config, policy="serial") as plain_sim:
+        with build_simulation(
+            config, policy="serial", resilience=resilience
+        ) as resilient_sim:
+            plain_sim.run_round()
+            resilient_sim.run_round()
+            # Interleave so load drift biases neither leg.
+            for _ in range(rounds):
+                start = time.perf_counter()
+                plain_sim.run_round()
+                plain_best = min(plain_best, time.perf_counter() - start)
+                start = time.perf_counter()
+                resilient_sim.run_round()
+                resilient_best = min(resilient_best, time.perf_counter() - start)
+    return {
+        "plain_s": plain_best,
+        "resilient_s": resilient_best,
+        "speedup": plain_best / resilient_best,
+    }
+
+
 # ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------
@@ -809,6 +850,9 @@ def run_suite(repeats: int = 25, include_dispatch: bool = True, include_e2e: boo
         results["distance_fanout"] = bench_distance_fanout(max(3, repeats // 5))
     if include_e2e:
         results["e2e_round"] = bench_e2e_round(repeats)
+    # Cheap (no legacy-kernel leg), so it runs even under --skip-e2e: CI
+    # always enforces the fault-plane overhead bound.
+    results["fault_hooks"] = bench_fault_hooks(repeats)
     site_records = _dispatch_site_records(results)
     if site_records:
         results["dispatch_sites"] = site_records
@@ -829,7 +873,13 @@ def _aggregate_speedups(results) -> Dict[str, float]:
             headline[metric] = float(results[metric]["speedup"])
     if "round_dispatch" in results:
         headline["round_dispatch_shm"] = float(results["round_dispatch"]["speedup"])
-    for metric in ("shard_broadcast", "refd_fanout", "distance_fanout", "adaptive_dispatch"):
+    for metric in (
+        "shard_broadcast",
+        "refd_fanout",
+        "distance_fanout",
+        "adaptive_dispatch",
+        "fault_hooks",
+    ):
         if metric in results:
             headline[metric] = float(results[metric]["speedup"])
     if "e2e_round" in results:
@@ -928,6 +978,16 @@ def render_table(results, headline) -> str:
                 f"adaptive_dispatch(vs {numbers['best_static']})",
                 f"{numbers['best_static_s'] * 1e6:.0f}",
                 f"{numbers['adaptive_s'] * 1e6:.0f}",
+                f"{numbers['speedup']:.2f}x",
+            ]
+        )
+    if "fault_hooks" in results:
+        numbers = results["fault_hooks"]
+        rows.append(
+            [
+                "fault_hooks(plain vs armed)",
+                f"{numbers['plain_s'] * 1e6:.0f}",
+                f"{numbers['resilient_s'] * 1e6:.0f}",
                 f"{numbers['speedup']:.2f}x",
             ]
         )

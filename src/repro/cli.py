@@ -45,6 +45,7 @@ from .experiments import dispatch
 from .experiments.grid import GridExecutionError, GridRunner, expand_grid
 from .experiments.io import save_results, write_summary_csv
 from .fl.dispatch_policy import DispatchPolicy
+from .fl.faults import FaultPlan, ResilienceConfig
 from .utils import format_table
 
 __all__ = ["main", "build_parser"]
@@ -107,6 +108,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="write the dispatch decision trace and executor counters as JSON",
+    )
+    _add_resilience_args(run)
+    run.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="write a round-granular checkpoint here; combine with --resume "
+        "to continue an interrupted run bit-identically",
     )
 
     scenario = subparsers.add_parser("scenario", help="run every experiment of one table/figure")
@@ -192,9 +201,49 @@ def build_parser() -> argparse.ArgumentParser:
         "included) for scripting and CI assertions",
     )
     grid.add_argument("--output", default=None, help="basename for .json/.csv result files")
+    grid.add_argument(
+        "--cell-dispatch",
+        default=None,
+        metavar="SPEC",
+        help="dispatch-policy spec for client fan-out INSIDE each cell "
+        "(grid cells default to serial inner dispatch); e.g. 'process:2'",
+    )
+    _add_resilience_args(grid)
 
     subparsers.add_parser("list", help="list datasets, attacks, defenses and scenarios")
     return parser
+
+
+def _add_resilience_args(sub: argparse.ArgumentParser) -> None:
+    """Fault-tolerance flags shared by ``run`` and ``grid``."""
+    sub.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-client retry budget for failed round tasks (default 2 "
+        "once any resilience flag is given; omit all of them to disable "
+        "the recovery plane entirely)",
+    )
+    sub.add_argument(
+        "--round-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-attempt straggler deadline; clients still running when it "
+        "expires are cut from the round (recorded in the round record)",
+    )
+    sub.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="PATH",
+        help="JSON fault-injection plan (chaos testing); see repro.fl.faults",
+    )
+    sub.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from round checkpoints left by an interrupted run",
+    )
 
 
 def _policy_from_args(args: argparse.Namespace) -> DispatchPolicy:
@@ -216,7 +265,38 @@ def _policy_from_args(args: argparse.Namespace) -> DispatchPolicy:
     return DispatchPolicy.serial()
 
 
-def _write_policy_stats(policy: DispatchPolicy, path_spec: Optional[str]) -> None:
+def _resilience_from_args(args: argparse.Namespace) -> Optional[ResilienceConfig]:
+    """Resolve the fault-tolerance flags into one config, or ``None``.
+
+    ``None`` (no flag given) keeps the recovery plane entirely out of the
+    round loop — the fault-free hot path stays hook-free.
+    """
+    plan_spec = getattr(args, "fault_plan", None)
+    max_retries = getattr(args, "max_retries", None)
+    deadline = getattr(args, "round_deadline", None)
+    if plan_spec is None and max_retries is None and deadline is None:
+        return None
+    plan = FaultPlan.from_file(plan_spec) if plan_spec else None
+    return ResilienceConfig(
+        max_retries=2 if max_retries is None else max_retries,
+        round_deadline=deadline,
+        fault_plan=plan,
+    )
+
+
+def _chaos_summary(counters: Dict[str, int]) -> Optional[str]:
+    """One-line chaos/recovery report, or ``None`` when nothing fired."""
+    if not counters:
+        return None
+    parts = [f"{name}={value}" for name, value in sorted(counters.items()) if value]
+    return "chaos: " + " ".join(parts) if parts else None
+
+
+def _write_policy_stats(
+    policy: DispatchPolicy,
+    path_spec: Optional[str],
+    extra: Optional[Dict] = None,
+) -> None:
     """Dump the policy's decision trace + counters as JSON when requested."""
     if not path_spec:
         return
@@ -226,6 +306,8 @@ def _write_policy_stats(policy: DispatchPolicy, path_spec: Optional[str]) -> Non
         "dispatch_decisions": policy.trace_dicts(),
         "counters": policy.counter_snapshot(),
     }
+    if extra:
+        payload.update(extra)
     path.write_text(json.dumps(payload, indent=2))
     print(f"stats written to {path}")
 
@@ -244,7 +326,12 @@ def _run_single(args: argparse.Namespace) -> int:
     config = scale(args.dataset, **overrides)
 
     policy = _policy_from_args(args)
-    runner = ExperimentRunner(policy=policy)
+    runner = ExperimentRunner(
+        policy=policy,
+        resilience=_resilience_from_args(args),
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+    )
     result = runner.run(config)
     rows = [
         ["clean accuracy acc (%)", 100.0 * (result.baseline_accuracy or 0.0)],
@@ -255,7 +342,12 @@ def _run_single(args: argparse.Namespace) -> int:
     ]
     print(f"dataset={args.dataset} attack={args.attack} defense={args.defense} scale={args.scale}")
     print(format_table(["metric", "value"], rows))
-    _write_policy_stats(policy, args.stats_json)
+    chaos = _chaos_summary(result.fault_stats)
+    if chaos:
+        print(chaos)
+    _write_policy_stats(
+        policy, args.stats_json, extra={"fault_stats": dict(result.fault_stats)}
+    )
     return 0
 
 
@@ -342,6 +434,8 @@ def _run_grid(args: argparse.Namespace) -> int:
     overrides = {}
     if args.rounds is not None:
         overrides["num_rounds"] = args.rounds
+    if args.cell_dispatch is not None:
+        overrides["dispatch"] = args.cell_dispatch
     if args.claim_ttl is not None and args.cache_dir is None:
         parser.error("--claim-ttl needs --cache-dir (leases live next to the artifacts)")
     if args.claim_ttl is not None and args.claim_ttl <= 0:
@@ -364,6 +458,8 @@ def _run_grid(args: argparse.Namespace) -> int:
         claim_ttl=args.claim_ttl,
         shard=shard,
         wait_for_peers=not args.no_wait,
+        resilience=_resilience_from_args(args),
+        resume=args.resume,
     )
     exit_code = 0
     try:
@@ -396,6 +492,9 @@ def _run_grid(args: argparse.Namespace) -> int:
         summary += f"\nshard {args.shard}: {stats.cells_skipped_shard} cells left to other shards"
     if stats.dataset_publications:
         summary += f"\ndatasets published once per sweep: {stats.dataset_publications}"
+    chaos = _chaos_summary(stats.fault_stats)
+    if chaos:
+        summary += "\n" + chaos
     print(summary)
     if args.stats_json:
         path = Path(args.stats_json)

@@ -11,7 +11,15 @@ from .grid import (
     expand_grid,
     run_grid,
 )
-from .io import load_results, result_from_dict, result_to_dict, save_results, write_summary_csv
+from .io import (
+    load_results,
+    quarantine_count,
+    read_json,
+    result_from_dict,
+    result_to_dict,
+    save_results,
+    write_summary_csv,
+)
 from .presets import benchmark_scale, paper_scale, smoke_scale
 from .runner import ExperimentResult, ExperimentRunner, build_simulation, run_experiment
 from . import scenarios
@@ -38,5 +46,7 @@ __all__ = [
     "result_from_dict",
     "save_results",
     "load_results",
+    "read_json",
+    "quarantine_count",
     "write_summary_csv",
 ]

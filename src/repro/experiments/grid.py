@@ -44,6 +44,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..fl.dispatch_policy import DispatchPolicy
+from ..fl.faults import FaultStats, ResilienceConfig
 from .config import ExperimentConfig
 from .dispatch import (
     ClaimLedger,
@@ -54,7 +55,13 @@ from .dispatch import (
     resolve_task,
     shard_of,
 )
-from .io import atomic_write_json, read_json, result_from_dict, result_to_dict
+from .io import (
+    atomic_write_json,
+    quarantine_count,
+    read_json,
+    result_from_dict,
+    result_to_dict,
+)
 from .runner import ExperimentResult, run_experiment
 from .scenarios import Scenario
 
@@ -211,6 +218,11 @@ class GridStats:
     dispatch_decisions: List[Dict[str, Any]] = field(default_factory=list)
     """Per-call-site decision trace of the runner's dispatch policy (what
     ``--stats-json`` surfaces)."""
+    fault_stats: Dict[str, int] = field(default_factory=dict)
+    """Aggregated :class:`~repro.fl.faults.FaultStats` counters across every
+    cell *executed* this run (cache hits do not re-count their stored
+    stats), plus artifacts corrupted/quarantined at grid level.  Empty when
+    nothing fired."""
 
 
 class GridExecutionError(RuntimeError):
@@ -263,10 +275,24 @@ class GridBaselineError(GridExecutionError):
         )
 
 
-def _run_cell(label: str, config: ExperimentConfig, baseline_accuracy: Optional[float]):
+def _run_cell(
+    label: str,
+    config: ExperimentConfig,
+    baseline_accuracy: Optional[float],
+    resilience: Optional[ResilienceConfig] = None,
+    checkpoint_path: Optional[PathLike] = None,
+    resume: bool = False,
+):
     """Worker entry point: must stay module-level so it pickles."""
     task = resolve_task(config)
-    return label, run_experiment(config, baseline_accuracy=baseline_accuracy, task=task)
+    return label, run_experiment(
+        config,
+        baseline_accuracy=baseline_accuracy,
+        task=task,
+        resilience=resilience,
+        checkpoint_path=checkpoint_path,
+        resume=resume,
+    )
 
 
 class GridRunner:
@@ -312,6 +338,21 @@ class GridRunner:
         Publish every distinct dataset of the sweep once at grid level (a
         shared-memory store for process workers, an in-process memo
         otherwise) instead of regenerating it per cell.  On by default.
+    resilience:
+        Optional :class:`~repro.fl.faults.ResilienceConfig` forwarded to
+        every cell's simulation (fault-tolerant round loop; the embedded
+        fault plan is narrowed per cell label via
+        :meth:`~repro.fl.faults.ResilienceConfig.for_cell`, and baselines
+        run with the plan stripped so chaos never skews ASR references).
+        Plans may also carry ``corrupt-artifact`` events, which the runner
+        applies to the matching cell's freshly written cache artifact —
+        exercising the torn-artifact quarantine path end to end.  With a
+        ``cache_dir``, per-cell round checkpoints land next to the cache as
+        ``<hash>.ckpt.json`` and are deleted once the cell's artifact is
+        stored.
+    resume:
+        Resume cells from their round checkpoints when present (see
+        ``resilience``); finished cells still come from the cache as usual.
     wait_for_peers:
         Under ``claim_ttl``: when every cell this runner could claim is done
         but peers still hold leases on the rest, keep polling — their
@@ -354,6 +395,8 @@ class GridRunner:
         share_datasets: bool = True,
         wait_for_peers: bool = True,
         policy=None,
+        resilience: Optional[ResilienceConfig] = None,
+        resume: bool = False,
     ) -> None:
         if workers is not None:
             if workers < 1:
@@ -386,10 +429,14 @@ class GridRunner:
             parse_shard(f"{self.shard[0]}/{self.shard[1]}")  # validate tuples too
         self.share_datasets = share_datasets
         self.wait_for_peers = wait_for_peers
+        self.resilience = resilience
+        self.resume = resume
         self.last_stats = GridStats()
         self.last_failures: Dict[str, str] = {}
         self._broker: Optional[DatasetBroker] = None
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._run_fault_stats = FaultStats()
+        self._artifact_faults_fired: set = set()
 
     # ------------------------------------------------------------------
     # Cache helpers
@@ -425,6 +472,49 @@ class GridRunner:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def _checkpoint_path(self, config: ExperimentConfig) -> Optional[Path]:
+        """Round-checkpoint path for one cell, when checkpointing is on."""
+        if self.cache_dir is None:
+            return None
+        if self.resilience is None and not self.resume:
+            return None
+        return self.cache_dir / f"{config_hash(config)}.ckpt.json"
+
+    def _cell_resilience(self, label: str) -> Optional[ResilienceConfig]:
+        """The per-cell resilience config: plan narrowed to the cell's label,
+        and stripped entirely for clean baselines (chaos must never skew the
+        ASR reference)."""
+        if self.resilience is None:
+            return None
+        if label.startswith("baseline/"):
+            return self.resilience.without_plan()
+        return self.resilience.for_cell(label)
+
+    def _maybe_corrupt_artifact(self, label: str, config: ExperimentConfig) -> None:
+        """Apply planned ``corrupt-artifact`` events to a freshly stored cell.
+
+        Truncates the artifact mid-file (fire-once per event), simulating a
+        torn write from a crashed peer on a non-atomic filesystem; the next
+        reader quarantines it and re-executes the cell.
+        """
+        if self.resilience is None or self.resilience.fault_plan is None:
+            return
+        path = self._cache_path(config)
+        if path is None:
+            return
+        for event in self.resilience.fault_plan.for_cell(label).artifact_events():
+            key = (event.cell, event.round, event.slot)
+            if key in self._artifact_faults_fired:
+                continue
+            self._artifact_faults_fired.add(key)
+            try:
+                data = path.read_bytes()
+                path.write_bytes(data[: max(1, len(data) // 2)])
+            except OSError:  # pragma: no cover - artifact raced away
+                continue
+            self._run_fault_stats.artifacts_corrupted += 1
+            self._emit(f"[chaos] corrupted cache artifact of {label}")
+
     def _finish_cell(
         self,
         label: str,
@@ -433,6 +523,15 @@ class GridRunner:
         ledger: Optional[ClaimLedger],
     ) -> None:
         self._cache_store(label, result)
+        self._run_fault_stats.merge(result.fault_stats)
+        self._maybe_corrupt_artifact(label, config)
+        checkpoint = self._checkpoint_path(config)
+        if checkpoint is not None:
+            # The cell's artifact is durable; its round checkpoint is scrap.
+            try:
+                checkpoint.unlink()
+            except OSError:
+                pass
         if ledger is not None:
             # The artifact is on disk, so peers hit the cache from here on;
             # releasing keeps a finished sweep's directory free of leases.
@@ -487,7 +586,14 @@ class GridRunner:
                 if ledger is not None:
                     ledger.refresh()
                 try:
-                    label, result = _run_cell(label, config, baseline)
+                    label, result = _run_cell(
+                        label,
+                        config,
+                        baseline,
+                        resilience=self._cell_resilience(label),
+                        checkpoint_path=self._checkpoint_path(config),
+                        resume=self.resume,
+                    )
                 except Exception as error:
                     self._fail_cell(label, config, error, failures, ledger)
                     continue
@@ -534,7 +640,15 @@ class GridRunner:
             pool = self._ensure_pool()
             try:
                 return {
-                    pool.submit(_run_cell, label, config, baseline): (label, config)
+                    pool.submit(
+                        _run_cell,
+                        label,
+                        config,
+                        baseline,
+                        resilience=self._cell_resilience(label),
+                        checkpoint_path=self._checkpoint_path(config),
+                        resume=self.resume,
+                    ): (label, config)
                     for label, config, baseline in jobs
                 }
             except BrokenProcessPool:
@@ -760,6 +874,8 @@ class GridRunner:
         started = time.perf_counter()
         stats = GridStats(total=len(scenario_list))
         failures: Dict[str, str] = {}
+        self._run_fault_stats = FaultStats()
+        quarantine_start = quarantine_count()
         ledger: Optional[ClaimLedger] = None
         if self.claim_ttl is not None:
             ledger = ClaimLedger(self.cache_dir, self.runner_id, self.claim_ttl)
@@ -844,6 +960,14 @@ class GridRunner:
                 stats.claims_expired = ledger.expired
                 stats.claims_lost = ledger.lost
             stats.failed = len(failures)
+            self._run_fault_stats.artifacts_quarantined += (
+                quarantine_count() - quarantine_start
+            )
+            stats.fault_stats = (
+                self._run_fault_stats.to_dict()
+                if self._run_fault_stats.any()
+                else {}
+            )
             stats.wall_seconds = time.perf_counter() - started
             stats.dispatch_decisions = self.dispatch.trace_dicts()
             self.last_stats = stats

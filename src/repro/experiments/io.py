@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import csv
 import json
+import logging
 import os
 import uuid
 from pathlib import Path
@@ -22,6 +23,7 @@ from .runner import ExperimentResult
 __all__ = [
     "atomic_write_json",
     "read_json",
+    "quarantine_count",
     "result_to_dict",
     "result_from_dict",
     "save_results",
@@ -30,6 +32,33 @@ __all__ = [
 ]
 
 PathLike = Union[str, Path]
+
+logger = logging.getLogger(__name__)
+
+#: Process-wide count of corrupt artifacts renamed to ``<name>.corrupt``.
+_QUARANTINED = 0
+
+
+def quarantine_count() -> int:
+    """Corrupt JSON artifacts quarantined by :func:`read_json` so far.
+
+    Grid runs snapshot this before/after a sweep to surface the delta in
+    their :class:`~repro.fl.faults.FaultStats`.
+    """
+    return _QUARANTINED
+
+
+def _quarantine(path: Path) -> Optional[Path]:
+    """Move a corrupt artifact aside so the next read is a clean miss."""
+    global _QUARANTINED
+    target = path.with_name(path.name + ".corrupt")
+    try:
+        os.replace(path, target)
+    except OSError:  # pragma: no cover - raced with another reader
+        return None
+    _QUARANTINED += 1
+    logger.warning("quarantined corrupt artifact %s -> %s", path, target.name)
+    return target
 
 
 def atomic_write_json(path: PathLike, payload, indent: Optional[int] = None) -> Path:
@@ -50,47 +79,36 @@ def atomic_write_json(path: PathLike, payload, indent: Optional[int] = None) -> 
     return path
 
 
-def read_json(path: PathLike) -> Optional[Union[Dict, List]]:
+def read_json(
+    path: PathLike, quarantine: bool = True
+) -> Optional[Union[Dict, List]]:
     """Load a JSON file, returning ``None`` when missing or unparsable.
 
     The forgiving counterpart of :func:`atomic_write_json` for cache-style
     consumers: a missing or corrupt artifact means "not cached", never an
-    exception.
+    exception.  A file that *exists* but does not parse (torn by a crashed
+    writer on a non-atomic filesystem, truncated by a full disk, or
+    corrupted outright) is additionally quarantined as ``<name>.corrupt``
+    and logged, so the caller's re-execution can write a clean artifact
+    under the original name and the bad bytes stay around for forensics.
     """
+    path = Path(path)
     try:
-        return json.loads(Path(path).read_text())
-    except (FileNotFoundError, NotADirectoryError, ValueError, OSError):
+        text = path.read_text()
+    except (FileNotFoundError, NotADirectoryError, OSError):
+        return None
+    try:
+        return json.loads(text)
+    except ValueError:
+        if quarantine:
+            _quarantine(path)
         return None
 
 
-def _record_to_dict(record: RoundRecord) -> Dict:
-    return {
-        "round_number": record.round_number,
-        "selected_client_ids": list(record.selected_client_ids),
-        "selected_malicious_ids": list(record.selected_malicious_ids),
-        "accepted_client_ids": (
-            None if record.accepted_client_ids is None else list(record.accepted_client_ids)
-        ),
-        "accuracy": record.accuracy,
-        "test_loss": record.test_loss,
-        "num_malicious_passed": record.num_malicious_passed,
-        "attack_metadata": dict(record.attack_metadata),
-    }
-
-
-def _record_from_dict(data: Dict) -> RoundRecord:
-    return RoundRecord(
-        round_number=data["round_number"],
-        selected_client_ids=list(data["selected_client_ids"]),
-        selected_malicious_ids=list(data["selected_malicious_ids"]),
-        accepted_client_ids=(
-            None if data["accepted_client_ids"] is None else list(data["accepted_client_ids"])
-        ),
-        accuracy=data["accuracy"],
-        test_loss=data["test_loss"],
-        num_malicious_passed=data["num_malicious_passed"],
-        attack_metadata=dict(data.get("attack_metadata", {})),
-    )
+# Round-record serialization lives on the dataclass itself so the fl layer
+# (checkpoints) and this module (cache artifacts) share one format.
+_record_to_dict = RoundRecord.to_dict
+_record_from_dict = RoundRecord.from_dict
 
 
 def result_to_dict(label: str, result: ExperimentResult) -> Dict:
@@ -105,6 +123,7 @@ def result_to_dict(label: str, result: ExperimentResult) -> Dict:
         "dpr": result.dpr,
         "records": [_record_to_dict(record) for record in result.records],
         "attack_synthesis_losses": [list(trace) for trace in result.attack_synthesis_losses],
+        "fault_stats": dict(result.fault_stats),
     }
 
 
@@ -120,6 +139,7 @@ def result_from_dict(data: Dict) -> Tuple[str, ExperimentResult]:
         baseline_accuracy=data["baseline_accuracy"],
         asr=data["asr"],
         attack_synthesis_losses=[list(trace) for trace in data.get("attack_synthesis_losses", [])],
+        fault_stats=dict(data.get("fault_stats", {})),
     )
     return data["label"], result
 

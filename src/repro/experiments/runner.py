@@ -54,6 +54,9 @@ class ExperimentResult:
     baseline_accuracy: Optional[float] = None
     asr: Optional[float] = None
     attack_synthesis_losses: List[List[float]] = field(default_factory=list)
+    fault_stats: Dict[str, int] = field(default_factory=dict)
+    """Nonzero :class:`~repro.fl.faults.FaultStats` counters of the run
+    (empty for fault-free runs, keeping legacy artifacts comparable)."""
 
     @property
     def accuracies(self) -> List[float]:
@@ -82,6 +85,7 @@ def build_simulation(
     workers: Optional[int] = None,
     task=None,
     policy=None,
+    resilience=None,
 ) -> FederatedSimulation:
     """Construct the simulation (task, model factory, attack, defense) for a config.
 
@@ -97,7 +101,10 @@ def build_simulation(
     grid-level shared publication (read-only views into one per-dataset shm
     segment) so a sweep's cells skip both regeneration and re-publication;
     it must match what ``load_dataset`` would produce for the config's
-    dataset fields.
+    dataset fields.  ``resilience`` is an optional
+    :class:`~repro.fl.faults.ResilienceConfig` enabling the fault-tolerant
+    round loop (retries, round deadline, optional fault injection); like
+    ``dispatch``, it never enters the config's cache identity.
     """
     policy = _policy_from_legacy(policy, executor, workers, "build_simulation")
     if policy is None and config.dispatch:
@@ -131,6 +138,7 @@ def build_simulation(
         assumed_malicious_fraction=config.assumed_malicious_fraction,
         seed=config.seed,
         policy=policy,
+        resilience=resilience,
     )
 
 
@@ -141,6 +149,9 @@ def run_experiment(
     workers: Optional[int] = None,
     task=None,
     policy=None,
+    resilience=None,
+    checkpoint_path=None,
+    resume: bool = False,
 ) -> ExperimentResult:
     """Run one experiment and compute accuracy / ASR / DPR.
 
@@ -149,11 +160,17 @@ def run_experiment(
     baselines automatically).  ``policy`` selects the dispatch backend of
     the underlying simulation (``executor``/``workers`` are deprecated
     aliases); ``task`` injects a pre-built dataset (see
-    :func:`build_simulation`).
+    :func:`build_simulation`).  ``resilience`` enables the fault-tolerant
+    round loop; ``checkpoint_path`` makes the run checkpoint after every
+    round and ``resume`` restores a compatible checkpoint before running.
     """
     policy = _policy_from_legacy(policy, executor, workers, "run_experiment")
-    with build_simulation(config, task=task, policy=policy) as simulation:
-        result = simulation.run(config.num_rounds)
+    with build_simulation(
+        config, task=task, policy=policy, resilience=resilience
+    ) as simulation:
+        result = simulation.run(
+            config.num_rounds, checkpoint_path=checkpoint_path, resume=resume
+        )
     synthesis_losses: List[List[float]] = []
     if simulation.attack is not None:
         synthesis_losses = list(getattr(simulation.attack, "synthesis_loss_history", []))
@@ -165,6 +182,9 @@ def run_experiment(
         dpr=defense_pass_rate(result.records),
         baseline_accuracy=baseline_accuracy,
         attack_synthesis_losses=synthesis_losses,
+        fault_stats=(
+            simulation.fault_stats.to_dict() if simulation.fault_stats.any() else {}
+        ),
     )
     if baseline_accuracy is not None and baseline_accuracy > 0:
         experiment.asr = attack_success_rate(baseline_accuracy, experiment.max_accuracy)
@@ -181,11 +201,30 @@ class ExperimentRunner:
     """
 
     def __init__(
-        self, executor=None, workers: Optional[int] = None, policy=None
+        self,
+        executor=None,
+        workers: Optional[int] = None,
+        policy=None,
+        resilience=None,
+        checkpoint_dir=None,
+        resume: bool = False,
     ) -> None:
         self._baseline_cache: Dict[Tuple, float] = {}
         self._result_cache: Dict[str, ExperimentResult] = {}
         self._policy = _policy_from_legacy(policy, executor, workers, "ExperimentRunner")
+        self._resilience = resilience
+        self._checkpoint_dir = checkpoint_dir
+        self._resume = resume
+
+    def _checkpoint_path(self, config: ExperimentConfig):
+        """Content-addressed checkpoint path for one config, if enabled."""
+        if self._checkpoint_dir is None:
+            return None
+        from pathlib import Path
+
+        from .grid import config_hash  # local import: grid depends on this module
+
+        return Path(self._checkpoint_dir) / f"{config_hash(config)}.ckpt.json"
 
     @staticmethod
     def _config_key(config: ExperimentConfig) -> str:
@@ -196,7 +235,13 @@ class ExperimentRunner:
         key = config.baseline_key()
         if key not in self._baseline_cache:
             clean = config.clean_variant()
-            result = run_experiment(clean, policy=self._policy)
+            # Baselines keep the retry/deadline behaviour but never the
+            # fault plan: chaos targets the attacked run, and a faulted
+            # baseline would silently skew every ASR in the sweep.
+            resilience = (
+                None if self._resilience is None else self._resilience.without_plan()
+            )
+            result = run_experiment(clean, policy=self._policy, resilience=resilience)
             self._baseline_cache[key] = result.max_accuracy
         return self._baseline_cache[key]
 
@@ -215,6 +260,9 @@ class ExperimentRunner:
             config,
             baseline_accuracy=baseline,
             policy=self._policy,
+            resilience=self._resilience,
+            checkpoint_path=self._checkpoint_path(config),
+            resume=self._resume,
         )
         if use_cache:
             self._result_cache[key] = result

@@ -20,6 +20,14 @@ from .executor import (
     build_executor,
     run_client_task,
 )
+from .faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultStats,
+    ResilienceConfig,
+    RoundExecutionError,
+)
 from .selection import ClientSelector, RoundRobinSelector, UniformSelector
 from .server import Server
 from .simulation import FederatedSimulation, SimulationResult
@@ -52,6 +60,12 @@ __all__ = [
     "ParallelExecutor",
     "build_executor",
     "run_client_task",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "ResilienceConfig",
+    "RoundExecutionError",
     "ClientSelector",
     "UniformSelector",
     "RoundRobinSelector",

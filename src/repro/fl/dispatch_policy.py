@@ -733,18 +733,29 @@ class DispatchPolicy:
             self._executors[key] = executor
         return executor
 
+    def executor_for_tasks(self, tasks: Sequence, site: str = "round") -> ClientExecutor:
+        """Decide a backend for one batch of client tasks and return it.
+
+        The decision half of :meth:`map_tasks`, exposed so the fault-tolerant
+        round loop (:func:`repro.fl.faults.run_tasks_with_recovery`) can
+        drive the chosen executor's ``map_detailed`` with retries and
+        deadlines while routing through exactly the same policy.
+        """
+        tasks = list(tasks)
+        work = payload_bytes = None
+        params = getattr(tasks[0], "global_params", None) if tasks else None
+        if params is not None:
+            work = float(len(tasks)) * float(params.size)
+            payload_bytes = len(tasks) * int(params.nbytes)
+        decision = self.decide(site, items=len(tasks), work=work, payload_bytes=payload_bytes)
+        return self.executor_for(decision)
+
     def map_tasks(self, tasks: Sequence, site: str = "round") -> List:
         """Run the round's client tasks on the decided backend."""
         tasks = list(tasks)
         if not tasks:
             return []
-        work = payload_bytes = None
-        params = getattr(tasks[0], "global_params", None)
-        if params is not None:
-            work = float(len(tasks)) * float(params.size)
-            payload_bytes = len(tasks) * int(params.nbytes)
-        decision = self.decide(site, items=len(tasks), work=work, payload_bytes=payload_bytes)
-        return self.executor_for(decision).map(tasks)
+        return self.executor_for_tasks(tasks, site=site).map(tasks)
 
     def fanout(
         self,

@@ -74,7 +74,10 @@ from __future__ import annotations
 import dataclasses
 import importlib
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import wait as _futures_wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import (
     Callable,
@@ -97,6 +100,10 @@ from .types import LocalTrainingConfig
 __all__ = [
     "ClientTask",
     "ClientTaskResult",
+    "FaultDirective",
+    "InjectedWorkerCrash",
+    "ShmAttachFailure",
+    "TaskOutcome",
     "SharedArrayRef",
     "SharedArrayStore",
     "ShardRef",
@@ -422,6 +429,53 @@ def pooled_fanout_ready(executor, payload_by_ref: bool = True) -> bool:
 
 
 # ----------------------------------------------------------------------
+# Fault directives (the worker-side half of the fault-injection plane)
+# ----------------------------------------------------------------------
+class InjectedWorkerCrash(RuntimeError):
+    """A planned in-process worker crash (soft kill) fired inside a task."""
+
+
+class ShmAttachFailure(RuntimeError):
+    """A shared-memory segment could not be attached (real or injected).
+
+    The recovery layer (:mod:`repro.fl.faults`) treats this — and genuine
+    ``OSError`` attach failures on tasks that carry shm refs — as a signal to
+    degrade the task to inline payloads and retry.
+    """
+
+
+@dataclass(frozen=True)
+class FaultDirective:
+    """Picklable instruction attached to one :class:`ClientTask` by a
+    :class:`~repro.fl.faults.FaultInjector`.
+
+    ``kind`` is one of ``"crash"`` (``hard`` kills the worker process with
+    ``os._exit``, otherwise an :class:`InjectedWorkerCrash` is raised),
+    ``"hang"`` (sleep ``seconds`` before training — a straggler, not an
+    error) or ``"shm"`` (raise :class:`ShmAttachFailure` as if the segment
+    attach failed).  Directives execute *before* the task touches its RNG,
+    so a retried task is bit-identical to an uninjected one.
+    """
+
+    kind: str
+    seconds: float = 0.0
+    hard: bool = False
+
+
+def _apply_fault_directive(directive: FaultDirective) -> None:
+    if directive.kind == "hang":
+        time.sleep(max(0.0, directive.seconds))
+    elif directive.kind == "crash":
+        if directive.hard:
+            os._exit(17)
+        raise InjectedWorkerCrash("injected worker crash")
+    elif directive.kind == "shm":
+        raise ShmAttachFailure("injected shared-memory attach failure")
+    else:  # pragma: no cover - plans are validated at load time
+        raise ValueError(f"unknown fault directive kind '{directive.kind}'")
+
+
+# ----------------------------------------------------------------------
 # Client tasks
 # ----------------------------------------------------------------------
 @dataclass
@@ -446,6 +500,8 @@ class ClientTask:
     """Serialized ``Generator.bit_generator.state`` of the owning client."""
     params_ref: Optional[SharedParamsRef] = None
     shard_ref: Optional[ShardRef] = None
+    fault: Optional[FaultDirective] = None
+    """Planned fault to execute before training (``None`` on the hot path)."""
 
     def resolve_global_params(self) -> np.ndarray:
         """The task's global parameter vector, attaching shared memory if used."""
@@ -476,6 +532,8 @@ class ClientTaskResult:
 
 def run_client_task(task: ClientTask) -> ClientTaskResult:
     """Execute one client's local training; pure function of the task payload."""
+    if task.fault is not None:
+        _apply_fault_directive(task.fault)
     rng = np.random.default_rng()
     rng.bit_generator.state = task.rng_state
     model = task.model_factory()
@@ -493,6 +551,21 @@ def run_client_task(task: ClientTask) -> ClientTaskResult:
 def default_worker_count() -> int:
     """Worker count used when none is given: one per available core, max 8."""
     return max(1, min(8, os.cpu_count() or 1))
+
+
+@dataclass
+class TaskOutcome:
+    """Per-task outcome of :meth:`ClientExecutor.map_detailed`.
+
+    Exactly one of three states: ``result`` set (success), ``error`` set
+    (the task raised or its worker died), or ``cut`` true (the task was
+    still running when the deadline expired and was abandoned).
+    """
+
+    index: int
+    result: Optional[ClientTaskResult] = None
+    error: Optional[BaseException] = None
+    cut: bool = False
 
 
 class ClientExecutor:
@@ -515,6 +588,29 @@ class ClientExecutor:
     def map(self, tasks: Sequence[ClientTask]) -> List[ClientTaskResult]:
         """Run every task and return results in the same order as ``tasks``."""
         raise NotImplementedError
+
+    def map_detailed(
+        self, tasks: Sequence[ClientTask], deadline_at: Optional[float] = None
+    ) -> List[TaskOutcome]:
+        """Run tasks, capturing per-task success/error/cut instead of raising.
+
+        ``deadline_at`` is an absolute :func:`time.monotonic` instant; tasks
+        still unfinished when it passes are abandoned and marked ``cut``.
+        The fault-tolerant round loop (:func:`repro.fl.faults.
+        run_tasks_with_recovery`) drives this entry point; :meth:`map` stays
+        the exception-propagating hot path.  The base implementation runs
+        serially, checking the deadline between tasks.
+        """
+        outcomes: List[TaskOutcome] = []
+        for index, task in enumerate(tasks):
+            if deadline_at is not None and time.monotonic() >= deadline_at:
+                outcomes.append(TaskOutcome(index=index, cut=True))
+                continue
+            try:
+                outcomes.append(TaskOutcome(index=index, result=run_client_task(task)))
+            except Exception as err:
+                outcomes.append(TaskOutcome(index=index, error=err))
+        return outcomes
 
     def map_fn(self, fn: Union[str, Callable], items: Iterable) -> List:
         """Generic order-preserving fan-out for non-task work.
@@ -592,6 +688,29 @@ class ThreadedExecutor(ClientExecutor):
     def map(self, tasks: Sequence[ClientTask]) -> List[ClientTaskResult]:
         return list(self._ensure_pool().map(run_client_task, tasks))
 
+    def map_detailed(
+        self, tasks: Sequence[ClientTask], deadline_at: Optional[float] = None
+    ) -> List[TaskOutcome]:
+        pool = self._ensure_pool()
+        futures = [pool.submit(run_client_task, task) for task in tasks]
+        timeout = None
+        if deadline_at is not None:
+            timeout = max(0.0, deadline_at - time.monotonic())
+        _done, not_done = _futures_wait(set(futures), timeout=timeout)
+        outcomes: List[TaskOutcome] = []
+        for index, future in enumerate(futures):
+            if future in not_done:
+                # A running thread cannot be killed; cancel what we can and
+                # abandon the rest (their results are discarded).
+                future.cancel()
+                outcomes.append(TaskOutcome(index=index, cut=True))
+                continue
+            try:
+                outcomes.append(TaskOutcome(index=index, result=future.result()))
+            except Exception as err:
+                outcomes.append(TaskOutcome(index=index, error=err))
+        return outcomes
+
     def map_fn(self, fn: Union[str, Callable], items: Iterable) -> List:
         if isinstance(fn, str):
             fn = resolve_fanout_fn(fn)
@@ -647,6 +766,9 @@ class ParallelExecutor(ClientExecutor):
         """Number of per-call array publications served to defense-side
         fan-out through :meth:`publish_arrays` (e.g. distance-plane update
         matrices)."""
+        self.pool_rebuilds = 0
+        """Number of times a broken or deadline-cut pool was torn down and
+        replaced mid-simulation."""
         self._pool: Optional[ProcessPoolExecutor] = None
 
     @property
@@ -657,6 +779,29 @@ class ParallelExecutor(ClientExecutor):
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.workers)
         return self._pool
+
+    def _discard_pool(self, terminate: bool = False) -> None:
+        """Tear down the current pool so the next use builds a fresh one.
+
+        ``terminate`` additionally kills the worker processes — needed when
+        a deadline-cut straggler would otherwise hold a pool slot (and its
+        CPU) indefinitely.  A pool that is merely *broken* has no live
+        workers left to kill.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        if terminate:
+            for process in list((getattr(pool, "_processes", None) or {}).values()):
+                try:
+                    process.terminate()
+                except Exception:  # pragma: no cover - already dead
+                    pass
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - broken pools may refuse
+            pass
+        self.pool_rebuilds += 1
 
     def _broadcast_vector(self, tasks: Sequence[ClientTask]) -> Optional[np.ndarray]:
         """The round's common parameter vector, or ``None`` if not shareable.
@@ -682,7 +827,6 @@ class ParallelExecutor(ClientExecutor):
         return first
 
     def map(self, tasks: Sequence[ClientTask]) -> List[ClientTaskResult]:
-        pool = self._ensure_pool()
         tasks = list(tasks)
         vector = self._broadcast_vector(tasks)
         lease: Optional[SharedParamsLease] = None
@@ -697,7 +841,15 @@ class ParallelExecutor(ClientExecutor):
                 for task in tasks
             ]
         try:
-            results = list(pool.map(run_client_task, tasks))
+            try:
+                results = list(self._ensure_pool().map(run_client_task, tasks))
+            except BrokenProcessPool:
+                # Workers can die *between* rounds of one simulation (OOM
+                # kill, spot preemption); tasks are pure functions of their
+                # payloads, so rebuilding the pool and re-running the whole
+                # batch once is bit-identical.  A second break propagates.
+                self._discard_pool()
+                results = list(self._ensure_pool().map(run_client_task, tasks))
         finally:
             if lease is not None:
                 lease.release()
@@ -706,6 +858,70 @@ class ParallelExecutor(ClientExecutor):
         if any(task.shard_ref is not None for task in tasks):
             self.shard_rounds += 1
         return results
+
+    def map_detailed(
+        self, tasks: Sequence[ClientTask], deadline_at: Optional[float] = None
+    ) -> List[TaskOutcome]:
+        tasks = list(tasks)
+        vector = self._broadcast_vector(tasks)
+        lease: Optional[SharedParamsLease] = None
+        if vector is not None:
+            try:
+                lease = SharedParamsLease(vector)
+            except (ImportError, OSError):  # pragma: no cover - no POSIX shm
+                lease = None
+        run_tasks = tasks
+        if lease is not None:
+            run_tasks = [
+                dataclasses.replace(task, global_params=None, params_ref=lease.ref)
+                for task in tasks
+            ]
+        outcomes = [TaskOutcome(index=index) for index in range(len(tasks))]
+        futures: Dict[object, int] = {}
+        try:
+            submit_error: Optional[BaseException] = None
+            try:
+                pool = self._ensure_pool()
+                for index, task in enumerate(run_tasks):
+                    futures[pool.submit(run_client_task, task)] = index
+            except BrokenProcessPool as err:
+                submit_error = err
+            timeout = None
+            if deadline_at is not None:
+                timeout = max(0.0, deadline_at - time.monotonic())
+            done, not_done = _futures_wait(set(futures), timeout=timeout)
+            broken = submit_error is not None
+            for future in done:
+                index = futures[future]
+                try:
+                    outcomes[index].result = future.result()
+                except Exception as err:
+                    outcomes[index].error = err
+                    if isinstance(err, BrokenProcessPool):
+                        broken = True
+            for future in not_done:
+                future.cancel()
+                outcomes[futures[future]].cut = True
+            submitted = set(futures.values())
+            for index in range(len(tasks)):
+                if index not in submitted:
+                    outcomes[index].error = submit_error or BrokenProcessPool(
+                        "task was never submitted"
+                    )
+            if not_done:
+                # Deadline-cut stragglers hold pool slots; kill the workers
+                # so retries start on a clean pool.
+                self._discard_pool(terminate=True)
+            elif broken:
+                self._discard_pool()
+        finally:
+            if lease is not None:
+                lease.release()
+        if lease is not None:
+            self.shm_rounds += 1
+        if any(task.shard_ref is not None for task in tasks):
+            self.shard_rounds += 1
+        return outcomes
 
     def map_fn(self, fn: Union[str, Callable], items: Iterable) -> List:
         items = list(items)
@@ -735,6 +951,7 @@ class ParallelExecutor(ClientExecutor):
             "shard_rounds": self.shard_rounds,
             "fanout_calls": self.fanout_calls,
             "published_stores": self.published_stores,
+            "pool_rebuilds": self.pool_rebuilds,
         }
 
     def close(self) -> None:

@@ -90,3 +90,44 @@ class Server:
     def evaluate(self, dataset, batch_size: int = 128) -> Tuple[float, float]:
         """Accuracy and loss of the current global model on ``dataset``."""
         return evaluate_model(self.global_model, dataset, batch_size=batch_size)
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-safe server state for round-granular checkpoints.
+
+        Parameter vectors are stored as plain float lists: Python floats are
+        exact binary64, so float32 values survive the float→JSON→float round
+        trip bit-identically.
+        """
+        return {
+            "round_number": int(self.round_number),
+            "rng_state": self._rng.bit_generator.state,
+            "param_dtype": np.dtype(self.param_dtype).str,
+            "global_params": self.global_params.tolist(),
+            "previous_global_params": (
+                None
+                if self.previous_global_params is None
+                else self.previous_global_params.tolist()
+            ),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the state written by :meth:`state_dict`."""
+        dtype = np.dtype(state["param_dtype"])
+        vector = np.asarray(state["global_params"], dtype=dtype).ravel()
+        if vector.size != self.global_params.size:
+            raise ValueError(
+                "checkpoint parameter vector does not match the model "
+                f"({vector.size} vs {self.global_params.size})"
+            )
+        self.flat_params = self.flat_params.with_vector(vector)
+        set_flat_params(self.global_model, vector)
+        previous = state.get("previous_global_params")
+        self.previous_global_params = (
+            None if previous is None else np.asarray(previous, dtype=dtype).ravel()
+        )
+        self._rng = np.random.default_rng()
+        self._rng.bit_generator.state = state["rng_state"]
+        self.round_number = int(state["round_number"])

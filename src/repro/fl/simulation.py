@@ -22,6 +22,14 @@ from ..nn.modules import Module
 from .client import BenignClient
 from .dispatch_policy import DispatchPolicy
 from .executor import ClientExecutor, ShardRef, SharedArrayStore
+from .faults import (
+    FaultInjector,
+    FaultStats,
+    ResilienceConfig,
+    load_checkpoint,
+    run_tasks_with_recovery,
+    save_checkpoint,
+)
 from .selection import ClientSelector, UniformSelector
 from .server import Server
 from .types import AttackRoundContext, LocalTrainingConfig, ModelUpdate, RoundRecord
@@ -98,6 +106,14 @@ class FederatedSimulation:
         :meth:`~repro.fl.executor.ClientExecutor.publish_arrays` and the
         per-round parameter lease, so the store holds only round-invariant
         data.
+    resilience:
+        Optional :class:`~repro.fl.faults.ResilienceConfig` enabling the
+        fault-tolerant round loop: per-task retries with backoff, a round
+        deadline that cuts stragglers (recorded in
+        ``RoundRecord.cut_client_ids``), shm-failure degradation to inline
+        payloads, broken-pool rebuilds — and, when the config carries a
+        :class:`~repro.fl.faults.FaultPlan`, deterministic fault injection.
+        ``None`` (the default) keeps the zero-overhead hot path.
     executor, workers:
         Deprecated — pass ``policy`` instead.  ``executor=`` accepts what
         it always did (an executor instance or a backend name) and, with
@@ -122,6 +138,7 @@ class FederatedSimulation:
         eval_batch_size: int = 256,
         seed: int = 0,
         policy=None,
+        resilience: Optional[ResilienceConfig] = None,
         executor=None,
         workers: Optional[int] = None,
     ) -> None:
@@ -172,6 +189,14 @@ class FederatedSimulation:
         )
         self.executor: ClientExecutor = self.dispatch.executor_for(round_plan)
         self._rng = np.random.default_rng(seed)
+        self.resilience = resilience
+        self.fault_stats = FaultStats()
+        self._injector: Optional[FaultInjector] = None
+        if resilience is not None and resilience.fault_plan is not None:
+            self._injector = FaultInjector(resilience.fault_plan, self.fault_stats)
+        # Backoff jitter draws from its own stream: wall-clock retry timing
+        # must never perturb the science RNGs.
+        self._retry_rng = np.random.default_rng((seed + 1) * 7919)
 
         self._partition_clients(seed)
 
@@ -318,9 +343,24 @@ class FederatedSimulation:
             self.benign_clients[cid].make_task(global_params, round_number)
             for cid in selected_benign
         ]
+        cut_client_ids: List[int] = []
+        if self.resilience is None:
+            results = self.dispatch.map_tasks(tasks)
+        elif tasks:
+            results, cut_client_ids = run_tasks_with_recovery(
+                self.dispatch.executor_for_tasks(tasks),
+                tasks,
+                round_number=round_number,
+                resilience=self.resilience,
+                stats=self.fault_stats,
+                rng=self._retry_rng,
+                injector=self._injector,
+            )
+        else:
+            results = []
         benign_updates: List[ModelUpdate] = [
             self.benign_clients[result.client_id].consume_result(result)
-            for result in self.dispatch.map_tasks(tasks)
+            for result in results
         ]
 
         malicious_updates: List[ModelUpdate] = []
@@ -367,18 +407,110 @@ class FederatedSimulation:
             test_loss=loss,
             num_malicious_passed=num_malicious_passed,
             attack_metadata=attack_metadata,
+            cut_client_ids=cut_client_ids,
         )
 
-    def run(self, num_rounds: int) -> SimulationResult:
-        """Run ``num_rounds`` rounds and return the aggregated result."""
+    def run(
+        self,
+        num_rounds: int,
+        checkpoint_path=None,
+        checkpoint_every: int = 1,
+        resume: bool = False,
+    ) -> SimulationResult:
+        """Run ``num_rounds`` rounds and return the aggregated result.
+
+        With ``checkpoint_path`` set, the full simulation state (RNG streams,
+        parameter vectors, round records) is written atomically after every
+        ``checkpoint_every``-th round; ``resume=True`` restores a compatible
+        checkpoint first and re-runs only the missing rounds — bit-identical
+        to an uninterrupted run, because every state component round-trips
+        exactly through JSON.  A missing, corrupt, or incompatible checkpoint
+        silently starts from round 0.
+        """
         if num_rounds < 1:
             raise ValueError("num_rounds must be at least 1")
-        records = [self.run_round() for _ in range(num_rounds)]
+        records: List[RoundRecord] = []
+        if checkpoint_path is not None and resume:
+            state = load_checkpoint(checkpoint_path)
+            if state is not None:
+                try:
+                    self.load_state_dict(state)
+                except (KeyError, TypeError, ValueError):
+                    pass  # incompatible checkpoint: start fresh
+                else:
+                    records = [
+                        RoundRecord.from_dict(payload)
+                        for payload in state.get("records", [])
+                    ]
+                    self.fault_stats.rounds_resumed += len(records)
+        # A resumed run counts ``num_rounds`` as the *total*; a fresh call
+        # keeps the historical relative semantics (run ``num_rounds`` more).
+        remaining = max(0, num_rounds - len(records))
+        for offset in range(remaining):
+            records.append(self.run_round())
+            if checkpoint_path is not None and (
+                len(records) % max(1, checkpoint_every) == 0
+                or offset == remaining - 1
+            ):
+                save_checkpoint(checkpoint_path, self, records)
+                self.fault_stats.checkpoints_written += 1
         return SimulationResult(
             records=records,
             final_params=self.server.global_params.copy(),
             malicious_client_ids=list(self.malicious_client_ids),
         )
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict:
+        """JSON-safe snapshot of everything a resumed run needs.
+
+        Covers the selection RNG, the server (parameters + RNG + round
+        counter) and every benign client's RNG stream; stateful attacks or
+        defenses may opt in by exposing ``state_dict``/``load_state_dict``
+        themselves.  Dataset partitioning is *not* stored — it is a pure
+        function of the constructor arguments, so the resuming process
+        rebuilds it identically from the same config.
+        """
+        state: Dict = {
+            "round_number": int(self.server.round_number),
+            "rng_state": self._rng.bit_generator.state,
+            "retry_rng_state": self._retry_rng.bit_generator.state,
+            "server": self.server.state_dict(),
+            "client_rng_states": {
+                str(client_id): client._rng.bit_generator.state
+                for client_id, client in self.benign_clients.items()
+            },
+        }
+        for name, component in (("attack", self.attack), ("defense", self.server.defense)):
+            hook = getattr(component, "state_dict", None)
+            if callable(hook):
+                state[f"{name}_state"] = hook()
+        return state
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore the snapshot written by :meth:`state_dict`."""
+        client_states = state["client_rng_states"]
+        missing = set(client_states) != {
+            str(client_id) for client_id in self.benign_clients
+        }
+        if missing:
+            raise ValueError(
+                "checkpoint client population does not match this simulation"
+            )
+        self.server.load_state_dict(state["server"])
+        self._rng = np.random.default_rng()
+        self._rng.bit_generator.state = state["rng_state"]
+        self._retry_rng = np.random.default_rng()
+        self._retry_rng.bit_generator.state = state["retry_rng_state"]
+        for client_id, client in self.benign_clients.items():
+            client._rng.bit_generator.state = client_states[str(client_id)]
+        for name, component in (("attack", self.attack), ("defense", self.server.defense)):
+            payload = state.get(f"{name}_state")
+            hook = getattr(component, "load_state_dict", None)
+            if payload is not None and callable(hook):
+                hook(payload)
 
     def close(self) -> None:
         """Release pooled executor workers and the shared-memory shard store."""

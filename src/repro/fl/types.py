@@ -168,8 +168,45 @@ class RoundRecord:
     test_loss: float
     num_malicious_passed: Optional[int] = None
     attack_metadata: Dict[str, float] = field(default_factory=dict)
+    cut_client_ids: List[int] = field(default_factory=list)
+    """Benign clients whose tasks were cut at the round deadline and dropped
+    from aggregation after the retry budget (empty on fault-free rounds).
+    Recorded so quorum aggregation stays explicit and reproducible."""
 
     @property
     def num_malicious_selected(self) -> int:
         """Number of attacker-controlled clients sampled in this round."""
         return len(self.selected_malicious_ids)
+
+    def to_dict(self) -> Dict:
+        """JSON-ready payload (cache artifacts, checkpoints, ``--output``)."""
+        return {
+            "round_number": self.round_number,
+            "selected_client_ids": list(self.selected_client_ids),
+            "selected_malicious_ids": list(self.selected_malicious_ids),
+            "accepted_client_ids": (
+                None
+                if self.accepted_client_ids is None
+                else list(self.accepted_client_ids)
+            ),
+            "accuracy": self.accuracy,
+            "test_loss": self.test_loss,
+            "num_malicious_passed": self.num_malicious_passed,
+            "attack_metadata": dict(self.attack_metadata),
+            "cut_client_ids": list(self.cut_client_ids),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "RoundRecord":
+        accepted = payload["accepted_client_ids"]
+        return cls(
+            round_number=int(payload["round_number"]),
+            selected_client_ids=list(payload["selected_client_ids"]),
+            selected_malicious_ids=list(payload["selected_malicious_ids"]),
+            accepted_client_ids=None if accepted is None else list(accepted),
+            accuracy=float(payload["accuracy"]),
+            test_loss=float(payload["test_loss"]),
+            num_malicious_passed=payload.get("num_malicious_passed"),
+            attack_metadata=dict(payload.get("attack_metadata", {})),
+            cut_client_ids=list(payload.get("cut_client_ids", [])),
+        )

@@ -166,7 +166,7 @@ class TestGridRunnerCaching:
             assert result.asr is not None
 
 
-def _killer_run_cell(label, config, baseline_accuracy):
+def _killer_run_cell(label, config, baseline_accuracy, **_extras):
     """Module-level so the pool can pickle it: kills its worker for one
     specific cell, behaves like the real worker entry point otherwise."""
     import os
@@ -272,10 +272,10 @@ class TestGridRunnerFailurePaths:
 
         original = grid_module._run_cell
 
-        def poisoned_run_cell(label, config, baseline_accuracy):
+        def poisoned_run_cell(label, config, baseline_accuracy, **extras):
             if label.startswith("baseline/"):
                 raise RuntimeError("baseline exploded")
-            return original(label, config, baseline_accuracy)
+            return original(label, config, baseline_accuracy, **extras)
 
         monkeypatch.setattr(grid_module, "_run_cell", poisoned_run_cell)
         runner = GridRunner(workers=1, cache_dir=tmp_path)
@@ -293,10 +293,10 @@ class TestGridRunnerFailurePaths:
 
         original = grid_module._run_cell
 
-        def poisoned_run_cell(label, config, baseline_accuracy):
+        def poisoned_run_cell(label, config, baseline_accuracy, **extras):
             if label.startswith("baseline/") and config.beta is None:
                 raise RuntimeError("iid baseline exploded")
-            return original(label, config, baseline_accuracy)
+            return original(label, config, baseline_accuracy, **extras)
 
         monkeypatch.setattr(grid_module, "_run_cell", poisoned_run_cell)
         runner = GridRunner(workers=1, cache_dir=tmp_path)
