@@ -1,0 +1,46 @@
+"""Static analysis of the reproduction's standing contracts (``repro lint``).
+
+The engine (:mod:`repro.analysis.engine`) walks each file's AST once and
+dispatches :class:`Rule` families over it:
+
+==========  ==============================================================
+Rule ID     Contract
+==========  ==============================================================
+RNG001-004  seeded-``np.random.Generator``-only randomness (PRs 1, 7)
+DT001-002   float64 defense geometry over float32 payloads (PRs 2, 4)
+FO001-003   module-level picklable fan-out registrations (PR 3)
+SHM001      shared-memory creations own a release path (PRs 3, 5)
+ORD001-002  no filesystem- or hash-ordered iteration (PRs 1, 5, 7)
+ENG001-002  files must be readable, parseable python (engine-emitted)
+==========  ==============================================================
+
+Suppress a justified finding inline with
+``# repro: allow[RULE-ID] <why>`` (same line or the comment line above);
+grandfather a legacy tree with ``repro lint --write-baseline FILE``.
+"""
+
+from .engine import (
+    Baseline,
+    Diagnostic,
+    FileContext,
+    LintReport,
+    Rule,
+    SCIENCE_PACKAGES,
+    default_rules,
+    iter_python_files,
+    lint_paths,
+    module_name_for,
+)
+
+__all__ = [
+    "Baseline",
+    "Diagnostic",
+    "FileContext",
+    "LintReport",
+    "Rule",
+    "SCIENCE_PACKAGES",
+    "default_rules",
+    "iter_python_files",
+    "lint_paths",
+    "module_name_for",
+]

@@ -1,0 +1,338 @@
+"""Dtype-contract rules: float64 defense geometry, float32 payloads.
+
+PR 4's standing contract: *defense geometry accumulates in float64;
+payloads/aggregation stay float32*.  The float32 Gram-trick cancellation it
+fixed (~650x relative error on near-duplicate converged updates) is exactly
+the kind of regression a single careless reduction reintroduces, so:
+
+* ``DT001`` polices geometry code in ``repro.defenses``: products
+  (``einsum``/``dot``/``matmul``/``@``) — and in the distance-plane modules
+  also ``sum``/``mean`` reductions — must either pass ``dtype=np.float64``
+  or operate on operands the rule can trace to a float64 construction
+  (``np.asarray(x, dtype=np.float64)``, ``x.astype(np.float64)``,
+  float64-allocated outputs, and arithmetic/slices thereof).
+* ``DT002`` polices the other direction: the ``repro.nn`` payload hot path
+  is float32 end to end, so any literal float64 promotion there must carry
+  a pragma naming why it is an explicit opt-in seam.
+
+The float64 tracing is an intentionally simple, function-local
+over-approximation; code that is correct for reasons the tracer cannot see
+(e.g. a payload contract established by the caller) states that reason in a
+``# repro: allow[DT001]`` pragma, which is the point — the invariant
+becomes visible at the call site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set
+
+from .engine import Diagnostic, FileContext, Rule
+
+__all__ = ["DtypeGeometryRule", "DtypeNnPromotionRule", "RULES"]
+
+#: Reduction products checked in every ``repro.defenses`` module.
+_PRODUCT_FNS = frozenset(
+    {"numpy.einsum", "numpy.dot", "numpy.matmul", "numpy.inner", "numpy.tensordot"}
+)
+
+#: Additional dtype-less reductions checked in distance-plane modules.
+_REDUCTION_FNS = frozenset({"numpy.sum", "numpy.nansum", "numpy.mean"})
+_REDUCTION_METHODS = frozenset({"sum", "mean"})
+
+#: numpy constructors whose ``dtype=`` kwarg fixes the result dtype.
+_CREATOR_FNS = frozenset(
+    {
+        "numpy.array",
+        "numpy.asarray",
+        "numpy.ascontiguousarray",
+        "numpy.asfortranarray",
+        "numpy.zeros",
+        "numpy.ones",
+        "numpy.empty",
+        "numpy.full",
+        "numpy.zeros_like",
+        "numpy.ones_like",
+        "numpy.empty_like",
+        "numpy.full_like",
+        "numpy.arange",
+        "numpy.linspace",
+    }
+)
+
+#: Elementwise/structural numpy functions that preserve a float64 input.
+_PRESERVING_FNS = frozenset(
+    {
+        "numpy.sqrt",
+        "numpy.abs",
+        "numpy.square",
+        "numpy.exp",
+        "numpy.log",
+        "numpy.maximum",
+        "numpy.minimum",
+        "numpy.clip",
+        "numpy.concatenate",
+        "numpy.stack",
+        "numpy.vstack",
+        "numpy.hstack",
+        "numpy.transpose",
+        "numpy.reshape",
+        "numpy.ravel",
+        "numpy.ascontiguousarray",
+        "numpy.sort",
+        "numpy.take_along_axis",
+        "numpy.where",
+    }
+)
+
+
+def _is_float64_dtype_expr(ctx: FileContext, node: ast.AST) -> bool:
+    """Whether an expression used as a ``dtype`` denotes float64."""
+    qualname = ctx.qualname(node)
+    if qualname in {"numpy.float64", "numpy.double", "float"}:
+        return True
+    if isinstance(node, ast.Constant) and node.value in {"float64", "f8", "<f8", "d"}:
+        return True
+    return False
+
+
+def _float64_dtype_kwarg(ctx: FileContext, call: ast.Call) -> bool:
+    for keyword in call.keywords:
+        if keyword.arg == "dtype" and _is_float64_dtype_expr(ctx, keyword.value):
+            return True
+    return False
+
+
+class _Float64Tracer:
+    """Function-local set of names traceable to a float64 construction.
+
+    Statements are processed in source order (nested bodies inline, no
+    branch merging): an assignment from a float64-producing expression adds
+    the target name, any other assignment to that name removes it.  This is
+    an over-approximation in both directions, which is fine — the rule's
+    job is to make untraceable accumulations *visible*, not to prove types.
+    """
+
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        self.names: Set[str] = set()
+
+    def process(self, body: Iterable[ast.stmt]) -> None:
+        for stmt in body:
+            self._statement(stmt)
+
+    def _statement(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            value_is_f64 = self.is_float64(stmt.value)
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    if value_is_f64:
+                        self.names.add(target.id)
+                    else:
+                        self.names.discard(target.id)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            if isinstance(stmt.target, ast.Name):
+                if self.is_float64(stmt.value):
+                    self.names.add(stmt.target.id)
+                else:
+                    self.names.discard(stmt.target.id)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested scopes are traced separately
+        for child_body in ("body", "orelse", "finalbody"):
+            nested = getattr(stmt, child_body, None)
+            if isinstance(nested, list) and not isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                self.process(nested)
+        for handler in getattr(stmt, "handlers", []) or []:
+            self.process(handler.body)
+
+    def is_float64(self, node: ast.AST) -> bool:
+        ctx = self.ctx
+        if isinstance(node, ast.Name):
+            return node.id in self.names
+        if isinstance(node, ast.Subscript):
+            return self.is_float64(node.value)
+        if isinstance(node, ast.Attribute) and node.attr == "T":
+            return self.is_float64(node.value)
+        if isinstance(node, ast.UnaryOp):
+            return self.is_float64(node.operand)
+        if isinstance(node, ast.BinOp):
+            left = self.is_float64(node.left)
+            right = self.is_float64(node.right)
+            if left and right:
+                return True
+            other = node.right if left else node.left
+            return (left or right) and isinstance(other, ast.Constant)
+        if isinstance(node, ast.Call):
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "astype"
+                and node.args
+                and _is_float64_dtype_expr(ctx, node.args[0])
+            ):
+                return True
+            qualname = ctx.qualname(node.func)
+            if qualname in _CREATOR_FNS:
+                return _float64_dtype_kwarg(ctx, node)
+            if qualname in _PRESERVING_FNS:
+                return any(self.is_float64(arg) for arg in node.args)
+            if qualname in _PRODUCT_FNS or qualname in _REDUCTION_FNS:
+                if _float64_dtype_kwarg(ctx, node):
+                    return True
+                operands = [a for a in node.args if not isinstance(a, ast.Constant)]
+                return bool(operands) and all(self.is_float64(a) for a in operands)
+        return False
+
+
+def _function_scopes(ctx: FileContext) -> Iterable[ast.AST]:
+    yield ctx.tree
+    yield from ctx.nodes(ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _own_statements(ctx: FileContext, scope: ast.AST, node: ast.AST) -> bool:
+    """Whether ``node``'s nearest enclosing function scope is ``scope``."""
+    enclosing = ctx.enclosing_function(node)
+    if isinstance(scope, ast.Module):
+        return enclosing is None
+    return enclosing is scope
+
+
+class DtypeGeometryRule(Rule):
+    rule_id = "DT001"
+    contract = (
+        "Defense geometry accumulates in float64 (PR 4): in repro.defenses, "
+        "einsum/dot/matmul/@ products — plus sum/mean in the distance-plane "
+        "modules — need dtype=np.float64 or operands traceable to float64."
+    )
+
+    def _applies(self, ctx: FileContext) -> bool:
+        module = ctx.module or ""
+        return module.startswith("repro.defenses")
+
+    def _check_sums(self, ctx: FileContext) -> bool:
+        module = ctx.module or ""
+        return module.rsplit(".", 1)[-1] == "distances"
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        if not self._applies(ctx):
+            return []
+        findings: List[Diagnostic] = []
+        check_sums = self._check_sums(ctx)
+        for scope in _function_scopes(ctx):
+            tracer = _Float64Tracer(ctx)
+            body = scope.body if hasattr(scope, "body") else []
+            tracer.process([s for s in body if isinstance(s, ast.stmt)])
+            for node in ctx.nodes(ast.Call):
+                if not _own_statements(ctx, scope, node):
+                    continue
+                finding = self._check_call(ctx, tracer, node, check_sums)
+                if finding is not None:
+                    findings.append(finding)
+            for node in ctx.nodes(ast.BinOp):
+                if not isinstance(node.op, ast.MatMult):
+                    continue
+                if not _own_statements(ctx, scope, node):
+                    continue
+                if not (tracer.is_float64(node.left) and tracer.is_float64(node.right)):
+                    findings.append(
+                        ctx.diagnostic(
+                            node,
+                            self.rule_id,
+                            "'@' product with operands not traceable to float64 "
+                            "— defense geometry must accumulate in float64 "
+                            "(cast operands or justify with a pragma)",
+                        )
+                    )
+        return findings
+
+    def _check_call(
+        self,
+        ctx: FileContext,
+        tracer: _Float64Tracer,
+        node: ast.Call,
+        check_sums: bool,
+    ) -> Optional[Diagnostic]:
+        qualname = ctx.qualname(node.func)
+        label: Optional[str] = None
+        operands: List[ast.expr] = []
+        if qualname in _PRODUCT_FNS or (check_sums and qualname in _REDUCTION_FNS):
+            label = qualname
+            operands = [a for a in node.args if not isinstance(a, ast.Constant)]
+        elif (
+            check_sums
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _REDUCTION_METHODS
+            and ctx.qualname(node.func) is None  # a real method, not np.sum
+        ):
+            label = f".{node.func.attr}()"
+            operands = [node.func.value]
+        elif (
+            check_sums
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _REDUCTION_METHODS
+            and (ctx.qualname(node.func) or "").split(".")[0] not in ("numpy",)
+        ):
+            label = f".{node.func.attr}()"
+            operands = [node.func.value]
+        if label is None:
+            return None
+        if _float64_dtype_kwarg(ctx, node):
+            return None
+        if operands and all(tracer.is_float64(op) for op in operands):
+            return None
+        return ctx.diagnostic(
+            node,
+            self.rule_id,
+            f"dtype-less '{label}' reduction with operands not traceable to "
+            "float64 — defense geometry must accumulate in float64 "
+            "(dtype=np.float64, cast the operands, or justify with a pragma)",
+        )
+
+
+class DtypeNnPromotionRule(Rule):
+    rule_id = "DT002"
+    contract = (
+        "The nn payload hot path is float32 end to end (PR 2): any float64 "
+        "promotion in repro.nn must be an explicit, pragma-justified opt-in "
+        "seam (like the dtype= parameters in nn/serialization.py)."
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        module = ctx.module or ""
+        if not module.startswith("repro.nn"):
+            return []
+        findings: List[Diagnostic] = []
+        for node in ctx.nodes(ast.Attribute):
+            if ctx.qualname(node) in {"numpy.float64", "numpy.double"}:
+                findings.append(self._finding(ctx, node))
+        for node in ctx.nodes(ast.Constant):
+            if node.value in {"float64", "f8", "<f8"} and self._is_dtype_use(ctx, node):
+                findings.append(self._finding(ctx, node))
+        return findings
+
+    @staticmethod
+    def _is_dtype_use(ctx: FileContext, node: ast.AST) -> bool:
+        parent = ctx.parent(node)
+        if isinstance(parent, ast.keyword) and parent.arg == "dtype":
+            return True
+        if isinstance(parent, ast.Call):
+            func = parent.func
+            if isinstance(func, ast.Attribute) and func.attr == "astype":
+                return True
+            if ctx.qualname(func) == "numpy.dtype":
+                return True
+        return False
+
+    def _finding(self, ctx: FileContext, node: ast.AST) -> Diagnostic:
+        return ctx.diagnostic(
+            node,
+            self.rule_id,
+            "float64 promotion in the float32 nn payload hot path — the "
+            "payload contract (PR 2/PR 4) keeps model parameters float32; "
+            "make the promotion an explicit opt-in seam and justify it with "
+            "a pragma",
+        )
+
+
+RULES = (DtypeGeometryRule, DtypeNnPromotionRule)

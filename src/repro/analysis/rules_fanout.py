@@ -1,0 +1,208 @@
+"""Fan-out purity rules: registered work functions must survive pickling.
+
+PR 3's fan-out registry (:func:`repro.fl.executor.register_fanout_fn`)
+ships work to process-pool workers as ``FanoutCall(name, payload)``
+envelopes; the worker resolves ``name`` by importing ``pkg.mod`` from the
+``"pkg.mod:label"`` string and looking the function up in the registry the
+import rebuilt.  That protocol only works when
+
+* the registered object is a **module-level named function** (``FO001``) —
+  lambdas, closures, bound methods and ``partial`` objects either fail to
+  pickle or silently rebind state per worker;
+* registration happens at **module import time** (``FO002``) — a function
+  registered inside another function is invisible to a worker that merely
+  imports the module;
+* the name string's module part **matches the defining module**
+  (``FO003``) — otherwise the worker imports the wrong module and the
+  lookup misses.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set
+
+from .engine import Diagnostic, FileContext, Rule
+
+__all__ = ["FanoutTargetRule", "FanoutModuleScopeRule", "FanoutNameRule", "RULES"]
+
+
+def _is_register_call(ctx: FileContext, node: ast.Call) -> bool:
+    func = node.func
+    if isinstance(func, ast.Name) and func.id == "register_fanout_fn":
+        return True
+    if isinstance(func, ast.Attribute) and func.attr == "register_fanout_fn":
+        return True
+    qualname = ctx.qualname(func)
+    return bool(qualname) and qualname.endswith(".register_fanout_fn")
+
+
+def _register_args(node: ast.Call) -> tuple:
+    """(name expression, fn expression) of a register_fanout_fn call."""
+    name_expr = node.args[0] if node.args else None
+    fn_expr = node.args[1] if len(node.args) > 1 else None
+    for keyword in node.keywords:
+        if keyword.arg == "name":
+            name_expr = keyword.value
+        elif keyword.arg == "fn":
+            fn_expr = keyword.value
+    return name_expr, fn_expr
+
+
+def _module_level_functions(ctx: FileContext) -> Set[str]:
+    names: Set[str] = set()
+    for stmt in ctx.tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            names.add(stmt.name)
+    return names
+
+
+def _resolve_name_string(ctx: FileContext, expr: Optional[ast.AST]) -> Optional[str]:
+    """Static value of the name argument: literal, or module-level constant."""
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        return expr.value
+    if isinstance(expr, ast.Name):
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name) and target.id == expr.id:
+                        if isinstance(stmt.value, ast.Constant) and isinstance(
+                            stmt.value.value, str
+                        ):
+                            return stmt.value.value
+    return None
+
+
+class FanoutTargetRule(Rule):
+    rule_id = "FO001"
+    contract = (
+        "register_fanout_fn targets must be module-level named functions: "
+        "lambdas, closures, bound methods and partials break (or silently "
+        "rebind state across) process-pool pickling (PR 3)."
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        findings: List[Diagnostic] = []
+        module_fns = _module_level_functions(ctx)
+        local_defs = {
+            node.name: node
+            for node in ctx.nodes(ast.FunctionDef, ast.AsyncFunctionDef)
+        }
+        for node in ctx.nodes(ast.Call):
+            if not _is_register_call(ctx, node):
+                continue
+            _, fn_expr = _register_args(node)
+            if fn_expr is None:
+                continue
+            problem = self._target_problem(ctx, fn_expr, module_fns, local_defs)
+            if problem is not None:
+                findings.append(
+                    ctx.diagnostic(
+                        fn_expr,
+                        self.rule_id,
+                        f"fan-out target is {problem}; register a module-level "
+                        "named function so worker processes can re-import it",
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _target_problem(ctx, fn_expr, module_fns, local_defs) -> Optional[str]:
+        if isinstance(fn_expr, ast.Lambda):
+            return "a lambda (unpicklable)"
+        if isinstance(fn_expr, ast.Attribute):
+            return f"an attribute lookup '{ast.unparse(fn_expr)}' (likely a bound method)"
+        if isinstance(fn_expr, ast.Call):
+            return f"a call result '{ast.unparse(fn_expr)}' (e.g. a partial/closure)"
+        if isinstance(fn_expr, ast.Name):
+            if fn_expr.id in module_fns:
+                return None
+            nested = local_defs.get(fn_expr.id)
+            if nested is not None and ctx.enclosing_function(nested) is not None:
+                return f"the nested function '{fn_expr.id}' (a closure)"
+            return None  # imported name: assume the defining module registered it
+        return f"a non-function expression '{ast.unparse(fn_expr)}'"
+
+
+class FanoutModuleScopeRule(Rule):
+    rule_id = "FO002"
+    contract = (
+        "register_fanout_fn must run at module import time: a registration "
+        "buried inside a function is invisible to a worker process that "
+        "resolves the name by importing the module (PR 3)."
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        findings: List[Diagnostic] = []
+        for node in ctx.nodes(ast.Call):
+            if not _is_register_call(ctx, node):
+                continue
+            if ctx.enclosing_function(node) is None:
+                continue
+            findings.append(
+                ctx.diagnostic(
+                    node,
+                    self.rule_id,
+                    "register_fanout_fn called inside a function; move the "
+                    "registration to module scope so importing the module "
+                    "(as pool workers do) performs it",
+                )
+            )
+        return findings
+
+
+class FanoutNameRule(Rule):
+    rule_id = "FO003"
+    contract = (
+        'Fan-out names are "pkg.mod:label" strings whose module part names '
+        "the defining module — that import path is how a fresh worker "
+        "process resolves the function (PR 3)."
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        findings: List[Diagnostic] = []
+        for node in ctx.nodes(ast.Call):
+            if not _is_register_call(ctx, node):
+                continue
+            name_expr, _ = _register_args(node)
+            if name_expr is None:
+                continue
+            value = _resolve_name_string(ctx, name_expr)
+            if value is None:
+                findings.append(
+                    ctx.diagnostic(
+                        name_expr,
+                        self.rule_id,
+                        "fan-out name is not a static string (literal or "
+                        "module-level constant); workers resolve names by "
+                        "import, so the name must be statically auditable",
+                    )
+                )
+                continue
+            if ":" not in value:
+                findings.append(
+                    ctx.diagnostic(
+                        name_expr,
+                        self.rule_id,
+                        f'fan-out name "{value}" lacks the "pkg.mod:label" '
+                        "colon form; without a module part a fresh worker "
+                        "process cannot import-resolve it",
+                    )
+                )
+                continue
+            module_part = value.split(":", 1)[0]
+            if ctx.module is not None and module_part != ctx.module:
+                findings.append(
+                    ctx.diagnostic(
+                        name_expr,
+                        self.rule_id,
+                        f'fan-out name "{value}" names module '
+                        f"'{module_part}' but is registered in "
+                        f"'{ctx.module}'; workers importing the name's "
+                        "module would not execute this registration",
+                    )
+                )
+        return findings
+
+
+RULES = (FanoutTargetRule, FanoutModuleScopeRule, FanoutNameRule)

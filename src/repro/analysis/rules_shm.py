@@ -1,0 +1,176 @@
+"""Shared-memory lifecycle rule: every segment creation has a closing path.
+
+POSIX shared memory created by :class:`~repro.fl.executor.SharedArrayStore`
+/ ``SharedMemory(create=True)`` outlives the process unless something calls
+``close``/``unlink`` — a leaked segment survives in ``/dev/shm`` until
+reboot and, across a grid sweep, exhausts it.  ``SHM001`` therefore
+requires every *creating* construction (attaches by name are exempt) to be
+owned by something with a guaranteed release path:
+
+* a ``with`` block (``SharedArrayStore``/``SharedParamsLease`` are context
+  managers),
+* an instance attribute of a class that defines a teardown method
+  (``close``/``release``/``shutdown``/``__exit__``/``__del__``),
+* a local that is released in a ``finally``/``except`` block, stored onto
+  ``self`` for class-managed teardown, or returned (ownership transferred
+  to the caller).
+
+Deliberate straight-line constructions (e.g. tests exercising the teardown
+itself) carry a ``# repro: allow[SHM001]`` pragma naming why.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set
+
+from .engine import Diagnostic, FileContext, Rule
+
+__all__ = ["ShmLifecycleRule", "RULES"]
+
+#: Constructors that *create* (not attach) a shared segment or a lease on one.
+_OWNING_CONSTRUCTORS = frozenset({"SharedArrayStore", "SharedParamsLease"})
+
+#: Methods whose presence marks a class as managing its segments' teardown.
+_TEARDOWN_METHODS = frozenset({"close", "release", "shutdown", "__exit__", "__del__"})
+
+#: Calls on a local that count as releasing it.
+_RELEASE_CALLS = frozenset({"close", "release", "unlink", "shutdown"})
+
+
+def _constructor_name(ctx: FileContext, node: ast.Call) -> Optional[str]:
+    """The shm-owning constructor this call invokes, if any."""
+    func = node.func
+    simple = None
+    if isinstance(func, ast.Name):
+        simple = func.id
+    elif isinstance(func, ast.Attribute):
+        simple = func.attr
+    if simple in _OWNING_CONSTRUCTORS:
+        return simple
+    if simple == "SharedMemory":
+        for keyword in node.keywords:
+            if keyword.arg == "create" and isinstance(keyword.value, ast.Constant):
+                if keyword.value.value is True:
+                    return "SharedMemory(create=True)"
+    return None
+
+
+def _class_has_teardown(cls: ast.ClassDef) -> bool:
+    return any(
+        isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and stmt.name in _TEARDOWN_METHODS
+        for stmt in cls.body
+    )
+
+
+def _released_names_in_cleanup(scope: ast.AST) -> Set[str]:
+    """Locals released via ``finally``/``except`` anywhere in ``scope``."""
+    released: Set[str] = set()
+    for node in ast.walk(scope):
+        if not isinstance(node, ast.Try):
+            continue
+        cleanup: List[ast.stmt] = list(node.finalbody)
+        for handler in node.handlers:
+            cleanup.extend(handler.body)
+        for stmt in cleanup:
+            for call in ast.walk(stmt):
+                if (
+                    isinstance(call, ast.Call)
+                    and isinstance(call.func, ast.Attribute)
+                    and call.func.attr in _RELEASE_CALLS
+                    and isinstance(call.func.value, ast.Name)
+                ):
+                    released.add(call.func.value.id)
+    return released
+
+
+def _name_escapes(scope: ast.AST, name: str) -> bool:
+    """Ownership leaves the local: returned, stored on self, or re-with'd."""
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Return):
+            value = node.value
+            if isinstance(value, ast.Name) and value.id == name:
+                return True
+        elif isinstance(node, ast.Assign):
+            if not (isinstance(node.value, ast.Name) and node.value.id == name):
+                continue
+            for target in node.targets:
+                base = target.value if isinstance(target, ast.Subscript) else target
+                if isinstance(base, ast.Attribute):
+                    return True  # self.<attr> = name / self.<store>[k] = name
+        elif isinstance(node, ast.With):
+            for item in node.items:
+                expr = item.context_expr
+                if isinstance(expr, ast.Name) and expr.id == name:
+                    return True
+                if isinstance(expr, ast.Call):
+                    for arg in expr.args:
+                        if isinstance(arg, ast.Name) and arg.id == name:
+                            return True  # with closing(name): ...
+    return False
+
+
+class ShmLifecycleRule(Rule):
+    rule_id = "SHM001"
+    contract = (
+        "Shared-memory creation (SharedArrayStore, SharedParamsLease, "
+        "SharedMemory(create=True)) must have a guaranteed release path: "
+        "with-block, teardown-owning class attribute, finally/except "
+        "release, or ownership transfer — leaked segments outlive the "
+        "process in /dev/shm."
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        findings: List[Diagnostic] = []
+        for node in ctx.nodes(ast.Call):
+            label = _constructor_name(ctx, node)
+            if label is None:
+                continue
+            if self._is_managed(ctx, node):
+                continue
+            findings.append(
+                ctx.diagnostic(
+                    node,
+                    self.rule_id,
+                    f"'{label}' constructed without a guaranteed release "
+                    "path (with-block, teardown-owning class, "
+                    "finally/except release, or ownership transfer); a "
+                    "leaked segment persists in /dev/shm",
+                )
+            )
+        return findings
+
+    def _is_managed(self, ctx: FileContext, node: ast.Call) -> bool:
+        # Inside a `with` item (directly or wrapped, e.g. closing(...)).
+        for ancestor in ctx.ancestors(node):
+            if isinstance(ancestor, ast.withitem):
+                return True
+            if isinstance(ancestor, ast.stmt):
+                break
+        parent = ctx.parent(node)
+        # Directly returned / yielded: ownership transfers to the caller.
+        if isinstance(parent, (ast.Return, ast.Yield)):
+            return True
+        if not isinstance(parent, ast.Assign):
+            return False
+        scope: ast.AST = ctx.enclosing_function(node) or ctx.tree
+        for target in parent.targets:
+            if isinstance(target, ast.Attribute) or (
+                isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Attribute)
+            ):
+                # self.<attr> = ... / self.<store>[k] = ... in a class that
+                # owns teardown.
+                cls = ctx.enclosing_class(node)
+                if cls is not None and _class_has_teardown(cls):
+                    return True
+            elif isinstance(target, ast.Name):
+                if target.id in _released_names_in_cleanup(scope):
+                    return True
+                if _name_escapes(scope, target.id):
+                    return True
+        return False
+
+
+RULES = (ShmLifecycleRule,)

@@ -211,6 +211,44 @@ def build_parser() -> argparse.ArgumentParser:
     _add_resilience_args(grid)
 
     subparsers.add_parser("list", help="list datasets, attacks, defenses and scenarios")
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="statically check the determinism/dtype/fan-out contracts",
+        description="AST-lint python sources against the reproduction's "
+        "standing contracts (seeded-Generator RNG, float64 defense "
+        "geometry, picklable fan-out, shm lifecycle, deterministic "
+        "ordering); exits nonzero on any non-suppressed finding.",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to lint (default: src tests)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="diagnostic output format (default: text)",
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="JSON baseline of grandfathered findings to suppress",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="write current findings as a baseline file and exit 0",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule ID and the contract it encodes, then exit",
+    )
     return parser
 
 
@@ -514,6 +552,33 @@ def _run_list(_: argparse.Namespace) -> int:
     return 0
 
 
+def _run_lint(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .analysis import Baseline, default_rules, lint_paths
+
+    rules = default_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.rule_id}  {rule.contract}")
+        return 0
+    paths = args.paths or ["src", "tests"]
+    baseline = Baseline.load(args.baseline) if args.baseline else None
+    report = lint_paths(paths, rules=rules, baseline=baseline)
+    if args.write_baseline:
+        Baseline.from_diagnostics(report.diagnostics).save(args.write_baseline)
+        print(
+            f"wrote baseline with {len(report.diagnostics)} finding(s) to "
+            f"{args.write_baseline}"
+        )
+        return 0
+    if args.format == "json":
+        print(_json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render_text())
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -526,6 +591,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_grid(args)
     if args.command == "list":
         return _run_list(args)
+    if args.command == "lint":
+        return _run_lint(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

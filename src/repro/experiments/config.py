@@ -88,7 +88,7 @@ class ExperimentConfig:
             raise ValueError("num_rounds must be at least 1")
 
     # ------------------------------------------------------------------
-    def with_overrides(self, **overrides) -> "ExperimentConfig":
+    def with_overrides(self, **overrides: Any) -> "ExperimentConfig":
         """Return a copy with some fields replaced."""
         return replace(self, **overrides)
 

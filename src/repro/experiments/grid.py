@@ -786,7 +786,7 @@ class GridRunner:
             value = self._await_baseline(clean, ledger, stats, failures)
             if value is not None:
                 baselines[key] = value
-        for key in skipped_keys:
+        for key in sorted(skipped_keys):
             for label, config in dependents.pop(key):
                 stats.cells_skipped_claimed += 1
                 if ledger is not None:

@@ -192,7 +192,7 @@ class CostModel:
         return cls(_DEFAULT_LEDGER_RECORDS)
 
     @classmethod
-    def from_ledger(cls, source) -> "CostModel":
+    def from_ledger(cls, source: Any) -> "CostModel":
         """Build a model from a ``BENCH_hotpath.json`` path or parsed dict.
 
         Prefers the explicit ``results["dispatch_sites"]`` records written by
@@ -288,13 +288,20 @@ class CostModel:
     def backends_for(self, site: str) -> List[str]:
         return sorted({backend for s, backend in self._per_item if s == site})
 
-    def estimate_serial(self, site: str, work) -> Optional[float]:
+    def estimate_serial(self, site: str, work: Optional[float]) -> Optional[float]:
         tau = self._tau.get(site)
         if tau is None or work is None:
             return None
         return tau * float(work)
 
-    def estimate_parallel(self, site: str, backend: str, work, items: int, workers: int):
+    def estimate_parallel(
+        self,
+        site: str,
+        backend: str,
+        work: Optional[float],
+        items: int,
+        workers: int,
+    ) -> Optional[float]:
         tau = self._tau.get(site)
         per_item = self._per_item.get((site, backend))
         if tau is None or per_item is None or work is None:
@@ -302,7 +309,9 @@ class CostModel:
         k = max(1, min(int(workers), int(items)))
         return tau * float(work) / k + per_item * int(items)
 
-    def choose(self, site: str, items: int, work, workers: int):
+    def choose(
+        self, site: str, items: int, work: Optional[float], workers: int
+    ) -> Tuple[str, str, Optional[float], Optional[float]]:
         """Pick a backend; returns ``(backend, reason, est_serial, est_parallel)``."""
         if site == "grid":
             if items >= 2 and workers >= 2:
@@ -570,7 +579,7 @@ class DispatchPolicy:
         return policy
 
     @classmethod
-    def parse(cls, spec) -> "DispatchPolicy":
+    def parse(cls, spec: Any) -> "DispatchPolicy":
         """Parse ``"serial" | "thread[:N]" | "process[:N]" | "adaptive[:N]"``
         with optional ``,site=backend`` pinning suffixes."""
         if isinstance(spec, DispatchPolicy):
@@ -605,7 +614,7 @@ class DispatchPolicy:
         )
 
     @classmethod
-    def coerce(cls, value) -> "DispatchPolicy":
+    def coerce(cls, value: Any) -> "DispatchPolicy":
         """``None`` -> serial, str -> :meth:`parse`, executor -> pinned."""
         if value is None:
             return cls.serial()
@@ -616,7 +625,9 @@ class DispatchPolicy:
         return cls.parse(value)
 
     @classmethod
-    def from_legacy(cls, executor=None, workers: Optional[int] = None) -> "DispatchPolicy":
+    def from_legacy(
+        cls, executor: Any = None, workers: Optional[int] = None
+    ) -> "DispatchPolicy":
         """Map the deprecated ``executor=``/``workers=`` kwargs onto a policy.
 
         Semantics match ``build_executor``: ``None`` runs serially (workers
@@ -640,7 +651,7 @@ class DispatchPolicy:
         self,
         site: str,
         items: int,
-        work=None,
+        work: Optional[float] = None,
         payload_bytes: Optional[int] = None,
     ) -> DispatchDecision:
         """Route one call: returns the recorded :class:`DispatchDecision`."""
@@ -664,13 +675,16 @@ class DispatchPolicy:
             workers = self._resolve_workers(backend)
             reason = f"fixed policy {backend!r}"
         else:
+            # Adaptive mode always builds a model in __init__; the fallback
+            # narrows the Optional for type checking without changing that.
+            cost_model = self.cost_model or CostModel.default()
             candidates = self.workers if self.workers is not None else default_worker_count()
-            backend, reason, est_serial, est_parallel = self.cost_model.choose(
+            backend, reason, est_serial, est_parallel = cost_model.choose(
                 site, items=items, work=work, workers=candidates
             )
             workers = candidates if backend != "serial" else 1
             if backend == "process" and payload_bytes is not None:
-                use_shm = payload_bytes >= self.cost_model.shm_min_bytes
+                use_shm = payload_bytes >= cost_model.shm_min_bytes
         decision = DispatchDecision(
             site=site,
             backend=backend,
@@ -742,7 +756,8 @@ class DispatchPolicy:
         deadlines while routing through exactly the same policy.
         """
         tasks = list(tasks)
-        work = payload_bytes = None
+        work: Optional[float] = None
+        payload_bytes: Optional[int] = None
         params = getattr(tasks[0], "global_params", None) if tasks else None
         if params is not None:
             work = float(len(tasks)) * float(params.size)
@@ -763,7 +778,7 @@ class DispatchPolicy:
         fn: str,
         payloads: Sequence,
         *,
-        work=None,
+        work: Optional[float] = None,
         kernel: Optional[Callable] = None,
         payload_by_ref: bool = True,
         publish: Optional[Mapping[str, np.ndarray]] = None,
@@ -857,11 +872,11 @@ class DispatchPolicy:
     def __enter__(self) -> "DispatchPolicy":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: Any) -> None:
         self.close()
 
 
-def dispatch_for(context) -> Optional[DispatchPolicy]:
+def dispatch_for(context: Any) -> Optional[DispatchPolicy]:
     """The policy a defense should dispatch through for this context.
 
     Prefers ``context.dispatch`` (set by the simulation's policy); falls

@@ -23,6 +23,7 @@ from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
+from numpy.typing import DTypeLike
 
 from .modules import Module
 
@@ -75,7 +76,7 @@ class FlatParams:
         return layout
 
     @classmethod
-    def from_module(cls, module: Module, dtype: Optional[np.dtype] = None) -> "FlatParams":
+    def from_module(cls, module: Module, dtype: Optional[DTypeLike] = None) -> "FlatParams":
         """Snapshot ``module``'s parameters into one contiguous buffer.
 
         ``dtype=None`` keeps the module's native parameter dtype (float32
@@ -149,7 +150,7 @@ class FlatParams:
             )
         return FlatParams(vector, self._layout)
 
-    def astype(self, dtype: np.dtype) -> "FlatParams":
+    def astype(self, dtype: DTypeLike) -> "FlatParams":
         """Buffer cast to ``dtype`` (no copy if the dtype already matches)."""
         return FlatParams(self.vector.astype(dtype, copy=False), self._layout)
 
@@ -165,7 +166,7 @@ class FlatParams:
         return f"FlatParams(size={self.size}, dtype={self.dtype}, slices={len(self._layout)})"
 
 
-def get_flat_params(module: Module, dtype: Optional[np.dtype] = None) -> np.ndarray:
+def get_flat_params(module: Module, dtype: Optional[DTypeLike] = None) -> np.ndarray:
     """Concatenate all parameters of ``module`` into one 1-D vector.
 
     The vector keeps the module's native parameter dtype (float32 for the
@@ -191,7 +192,7 @@ def set_flat_params(module: Module, vector: np.ndarray) -> None:
 
 
 def state_dict_to_vector(
-    state: Dict[str, np.ndarray], reference: Module, dtype: Optional[np.dtype] = None
+    state: Dict[str, np.ndarray], reference: Module, dtype: Optional[DTypeLike] = None
 ) -> np.ndarray:
     """Flatten a state dict using the parameter ordering of ``reference``.
 

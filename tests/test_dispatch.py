@@ -103,7 +103,7 @@ class TestClaimLedger:
         for cell in ("cell0", "cell1", "cell2"):
             assert ledger.try_claim(cell)
         ledger.release_all()
-        assert not list(Path(tmp_path).glob("*.claim"))
+        assert not sorted(Path(tmp_path).glob("*.claim"))
 
     def test_newborn_empty_lease_reads_as_fresh(self, tmp_path):
         """Exclusive create and body write are two syscalls; a peer reading
@@ -207,7 +207,7 @@ class TestClaimAwareGridRunner:
         assert stats.cells_skipped_claimed == 1
         assert grid[0][0] not in {label for label, _ in results}
         # our leases were all released; only the peer's remains
-        assert list(Path(tmp_path).glob("*.claim")) == [
+        assert sorted(Path(tmp_path).glob("*.claim")) == [
             claim_path(tmp_path, config_hash(grid[0][1]))
         ]
 
@@ -225,7 +225,7 @@ class TestClaimAwareGridRunner:
         assert stats.executed == len(grid)
         assert stats.claims_stolen == 1 and stats.claims_expired == 1
         assert len(results) == len(grid)
-        assert not list(Path(tmp_path).glob("*.claim"))
+        assert not sorted(Path(tmp_path).glob("*.claim"))
 
     def test_awaited_baseline_is_stolen_from_a_dead_peer(self, tmp_path):
         """A baseline a peer claimed but never finishes: the runner awaits,
@@ -263,7 +263,7 @@ class TestClaimAwareGridRunner:
         assert stats.cells_skipped_claimed == len(grid)
         assert results == []
         # the dependent cells' leases were given back for the peer/a re-run
-        assert list(Path(tmp_path).glob("*.claim")) == [
+        assert sorted(Path(tmp_path).glob("*.claim")) == [
             claim_path(tmp_path, config_hash(clean))
         ]
         peer.release_all()
@@ -371,8 +371,8 @@ print(json.dumps({"stats": dataclasses.asdict(runner.last_stats),
         assert outs[0]["acc"] == outs[1]["acc"]
         assert outs[0]["records"] == outs[1]["records"]
         # the steady state is artifacts only — no leases left behind
-        assert len(list(shared.glob("*.json"))) == cells + 2
-        assert not list(shared.glob("*.claim"))
+        assert len(sorted(shared.glob("*.json"))) == cells + 2
+        assert not sorted(shared.glob("*.claim"))
 
         # bit-identical to a single-runner sweep in a fresh cache dir
         grid = expand_grid(

@@ -127,6 +127,7 @@ class TestSharedMemoryBroadcast:
             lease.release()
 
     def test_release_is_idempotent(self):
+        # repro: allow[SHM001] release idempotence is the behavior under test
         lease = SharedParamsLease(np.ones(4, dtype=np.float32))
         lease.release()
         lease.release()
@@ -200,6 +201,7 @@ class TestSharedArrayStore:
     def test_close_unlinks_segment(self):
         from multiprocessing import shared_memory
 
+        # repro: allow[SHM001] explicit close/unlink is the behavior under test
         store = SharedArrayStore({"x": np.ones(4, dtype=np.float32)})
         name = store.name
         store.close()
@@ -210,6 +212,7 @@ class TestSharedArrayStore:
     def test_del_safety_net_unlinks_segment(self):
         from multiprocessing import shared_memory
 
+        # repro: allow[SHM001] the __del__ safety net is the behavior under test
         store = SharedArrayStore({"x": np.ones(4, dtype=np.float32)})
         name = store.name
         del store
@@ -269,10 +272,12 @@ class TestFanoutRegistry:
         assert resolve_fanout_fn("tests.test_fl_executor:square") is _fanout_square
 
     def test_reregistering_same_fn_is_noop(self):
+        # repro: allow[FO002] re-registration semantics are the behavior under test
         register_fanout_fn("tests.test_fl_executor:square", _fanout_square)
 
     def test_conflicting_registration_raises(self):
         with pytest.raises(ValueError):
+            # repro: allow[FO001,FO002] negative-path fixture: the conflict must raise
             register_fanout_fn("tests.test_fl_executor:square", lambda x: x)
 
     def test_unknown_name_raises(self):

@@ -108,7 +108,7 @@ class TestGridRunnerCaching:
         assert runner.last_stats.executed == len(grid)
         # 2 betas share nothing; each beta has its own clean baseline.
         assert runner.last_stats.baselines_executed == 2
-        artifacts = list(tmp_path.glob("*.json"))
+        artifacts = sorted(tmp_path.glob("*.json"))
         assert len(artifacts) == len(grid) + 2
 
         rerun = GridRunner(workers=1, cache_dir=tmp_path)
@@ -136,7 +136,7 @@ class TestGridRunnerCaching:
         grid = _tiny_grid()[:1]
         runner = GridRunner(workers=1, cache_dir=tmp_path)
         runner.run(grid)
-        for artifact in tmp_path.glob("*.json"):
+        for artifact in sorted(tmp_path.glob("*.json")):
             artifact.write_text("{not json")
         rerun = GridRunner(workers=1, cache_dir=tmp_path)
         rerun.run(grid)
