@@ -385,10 +385,24 @@ class LintReport:
 
 def default_rules() -> List[Rule]:
     """Instantiate every shipped rule, in stable rule-id order."""
-    from . import rules_dtype, rules_fanout, rules_ordering, rules_rng, rules_shm
+    from . import (
+        rules_dtype,
+        rules_fanout,
+        rules_ordering,
+        rules_rng,
+        rules_shm,
+        rules_trace,
+    )
 
     rules: List[Rule] = []
-    for module in (rules_rng, rules_dtype, rules_fanout, rules_shm, rules_ordering):
+    for module in (
+        rules_rng,
+        rules_dtype,
+        rules_fanout,
+        rules_shm,
+        rules_ordering,
+        rules_trace,
+    ):
         rules.extend(rule_cls() for rule_cls in module.RULES)
     rules.sort(key=lambda rule: rule.rule_id)
     return rules

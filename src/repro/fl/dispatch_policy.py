@@ -25,6 +25,14 @@ Call sites
     (:mod:`repro.defenses.distances`).
 ``"grid"``
     Grid cell dispatch (:class:`repro.experiments.grid.GridRunner`).
+``"train"``
+    The autograd execution mode of client local training — eager per-op
+    closures vs the recorded-tape replay of :mod:`repro.nn.trace`.  Unlike
+    the other sites this picks an *engine*, not an executor backend:
+    :meth:`DispatchPolicy.training_mode` returns ``"replay"`` or
+    ``"eager"`` (both bit-identical), trading the one-off recording
+    overhead against the per-step replay saving measured by the
+    ``trace_record_overhead`` ledger metric.
 
 On top of the per-call decisions the policy owns a :class:`DistanceCache`
 that amortises the float64 distance plane across rounds: pairwise values
@@ -57,6 +65,7 @@ from .executor import (
 __all__ = [
     "BACKENDS",
     "SITES",
+    "TRAIN_MODES",
     "BenchRecord",
     "CostModel",
     "DispatchDecision",
@@ -66,10 +75,13 @@ __all__ = [
 ]
 
 #: The call sites a policy decides for (see module docstring).
-SITES = ("round", "refd", "distance", "grid")
+SITES = ("round", "refd", "distance", "grid", "train")
 
 #: The executor backends a decision may pick.
 BACKENDS = ("serial", "thread", "process")
+
+#: The autograd engines the ``train`` site may pick (its "backends").
+TRAIN_MODES = ("eager", "replay")
 
 
 @dataclass(frozen=True)
@@ -112,6 +124,16 @@ _SHM_BANDWIDTH_BYTES_PER_S = 1 << 30
 #: ``BENCH_hotpath.json``).  ``CostModel.from_ledger`` overrides these with
 #: whatever the local ledger recorded; sites the ledger does not cover fall
 #: back to this table.
+#: Per-step training costs measured on the reference machine (FashionCNN,
+#: batch 32): mean eager step, mean replayed step, and the one-off extra
+#: cost of the recording step over a plain eager step.  Overridden by the
+#: ``trace_record_overhead`` metric when a local ledger provides one.
+_DEFAULT_TRAIN_COSTS = {
+    "eager_step_s": 3.8e-3,
+    "replay_step_s": 3.0e-3,
+    "overhead_s": 9.0e-3,
+}
+
 _DEFAULT_LEDGER_RECORDS = (
     BenchRecord(
         site="refd",
@@ -170,6 +192,7 @@ class CostModel:
         self.shm_min_bytes = int(shm_min_bytes)
         self._tau: Dict[str, float] = {}
         self._per_item: Dict[Tuple[str, str], float] = {}
+        self.train_costs: Dict[str, float] = dict(_DEFAULT_TRAIN_COSTS)
         for record in records:
             self.add_record(record)
 
@@ -215,6 +238,12 @@ class CostModel:
         shm_min_bytes = cls._shm_crossover_bytes(results)
         if shm_min_bytes is not None:
             model.shm_min_bytes = shm_min_bytes
+        overhead = results.get("trace_record_overhead")
+        if isinstance(overhead, Mapping):
+            for key in ("eager_step_s", "replay_step_s", "overhead_s"):
+                value = overhead.get(key)
+                if value is not None and float(value) > 0:
+                    model.train_costs[key] = float(value)
         return model
 
     @staticmethod
@@ -308,6 +337,23 @@ class CostModel:
             return None
         k = max(1, min(int(workers), int(items)))
         return tau * float(work) / k + per_item * int(items)
+
+    def estimate_training(self, steps: int) -> Tuple[float, float]:
+        """``(eager_s, replay_s)`` estimates for ``steps`` optimizer steps.
+
+        The replay estimate charges the first step at eager cost plus the
+        one-off recording overhead; the remaining ``steps - 1`` run at the
+        replayed per-step cost.
+        """
+        steps = max(1, int(steps))
+        costs = self.train_costs
+        eager = costs["eager_step_s"] * steps
+        replay = (
+            costs["eager_step_s"]
+            + costs["overhead_s"]
+            + costs["replay_step_s"] * (steps - 1)
+        )
+        return eager, replay
 
     def choose(
         self, site: str, items: int, work: Optional[float], workers: int
@@ -499,8 +545,11 @@ class DispatchPolicy:
         for site, name in (overrides or {}).items():
             if site not in SITES:
                 raise ValueError(f"unknown site {site!r}; expected one of {SITES}")
-            if name not in BACKENDS:
-                raise ValueError(f"unknown backend {name!r}; expected one of {BACKENDS}")
+            valid = TRAIN_MODES if site == "train" else BACKENDS
+            if name not in valid:
+                raise ValueError(
+                    f"unknown {site} choice {name!r}; expected one of {valid}"
+                )
             self.overrides[site] = name
         self.distance_cache = distance_cache if distance_cache is not None else DistanceCache()
         self._pinned = _pinned
@@ -511,6 +560,8 @@ class DispatchPolicy:
             "serial": 0,
             "thread": 0,
             "process": 0,
+            "eager": 0,
+            "replay": 0,
         }
 
     # ------------------------------------------------------------------
@@ -657,6 +708,11 @@ class DispatchPolicy:
         """Route one call: returns the recorded :class:`DispatchDecision`."""
         if site not in SITES:
             raise ValueError(f"unknown site {site!r}; expected one of {SITES}")
+        if site == "train":
+            raise ValueError(
+                "the 'train' site picks an autograd engine, not an executor "
+                "backend; use training_mode()"
+            )
         items = int(items)
         requested = self.overrides.get(site)
         est_serial = est_parallel = None
@@ -698,6 +754,60 @@ class DispatchPolicy:
         )
         self._record(decision)
         return decision
+
+    def training_mode(self, steps: int) -> str:
+        """Resolve ``LocalTrainingConfig.trace == "auto"``: replay or eager?
+
+        ``steps`` is the expected number of optimizer steps one local
+        training run performs (batches per epoch x epochs).  Both engines
+        are bit-identical, so this is purely a cost call: fixed policies
+        take replay whenever recording can amortise (two or more steps),
+        adaptive policies compare the cost model's eager and replay
+        estimates under the usual serial-biased margin, and
+        ``overrides["train"]`` pins the choice outright.  The decision is
+        recorded in :attr:`trace` like any other site (``backend`` holds
+        the chosen engine name).
+        """
+        steps = max(1, int(steps))
+        est_eager = est_replay = None
+        requested = self.overrides.get("train")
+        if requested is not None:
+            mode = requested
+            reason = "pinned by override[train]"
+        elif steps < 2:
+            mode = "eager"
+            reason = "single optimizer step: recording cannot amortise"
+        elif self.mode == "fixed":
+            mode = "replay"
+            reason = "fixed policy: replay records once and is bit-identical"
+        else:
+            cost_model = self.cost_model or CostModel.default()
+            est_eager, est_replay = cost_model.estimate_training(steps)
+            if est_replay < cost_model.margin * est_eager:
+                mode = "replay"
+                reason = (
+                    f"replay est {est_replay * 1e3:.3f}ms < "
+                    f"{cost_model.margin:.2f} x eager {est_eager * 1e3:.3f}ms"
+                )
+            else:
+                mode = "eager"
+                reason = (
+                    f"eager est {est_eager * 1e3:.3f}ms beats replay est "
+                    f"{est_replay * 1e3:.3f}ms (margin {cost_model.margin:.2f})"
+                )
+        decision = DispatchDecision(
+            site="train",
+            backend=mode,
+            workers=1,
+            use_shared_memory=False,
+            items=steps,
+            work=float(steps),
+            reason=reason,
+            est_serial_s=est_eager,
+            est_parallel_s=est_replay,
+        )
+        self._record(decision)
+        return mode
 
     def _resolve_workers(self, backend: str) -> int:
         if backend == "serial":

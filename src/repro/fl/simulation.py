@@ -10,7 +10,7 @@ defense, and produces the per-round records from which the paper's metrics
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -197,6 +197,20 @@ class FederatedSimulation:
         # Backoff jitter draws from its own stream: wall-clock retry timing
         # must never perturb the science RNGs.
         self._retry_rng = np.random.default_rng((seed + 1) * 7919)
+
+        # Resolve trace="auto" through the policy's train site before the
+        # clients capture their config: an average shard yields
+        # ~train_size/num_clients samples, so that is the optimizer-step
+        # count the record-vs-replay trade is priced at.  Both engines are
+        # bit-identical, so this only moves wall-clock time.
+        if getattr(self.training_config, "trace", "auto") == "auto":
+            samples_per_client = max(1, len(task.train) // num_clients)
+            steps = self.training_config.local_epochs * max(
+                1, -(-samples_per_client // self.training_config.batch_size)
+            )
+            self.training_config = replace(
+                self.training_config, trace=self.dispatch.training_mode(steps)
+            )
 
         self._partition_clients(seed)
 

@@ -8,6 +8,7 @@ import numpy as np
 
 from ..data.dataset import DataLoader
 from ..nn import functional as F
+from ..nn import trace as nn_trace
 from ..nn.modules import Module
 from ..nn.optim import SGD
 from ..nn.tensor import Tensor, no_grad
@@ -32,6 +33,15 @@ def train_on_arrays(
         Optional callable ``extra_loss(model) -> Tensor`` added to the
         cross-entropy loss of every batch.  The DFA attacks use this hook for
         their distance-based regularization term.
+
+    When ``config.trace`` is ``"replay"`` (or ``"auto"``, which resolves
+    to replay here when a :class:`DispatchPolicy` has not already decided)
+    and the model declares a ``trace_signature``, each distinct batch
+    shape runs through the recorded-tape engine of :mod:`repro.nn.trace`:
+    the first step records (eagerly — so it is also a normal step) and
+    later steps replay a preallocated buffer plan, bit-identical to the
+    eager loop.  ``extra_loss`` models, shape changes and untraceable ops
+    all fall back to eager per step, never erroring.
     """
     model.train()
     optimizer = SGD(
@@ -40,6 +50,9 @@ def train_on_arrays(
         momentum=config.momentum,
         weight_decay=config.weight_decay,
     )
+    session = None
+    if extra_loss is None and getattr(config, "trace", "auto") != "eager":
+        session = nn_trace.session_for(model)
     num_samples = images.shape[0]
     epoch_losses: List[float] = []
     for _ in range(config.local_epochs):
@@ -48,13 +61,18 @@ def train_on_arrays(
         for start in range(0, num_samples, config.batch_size):
             batch = order[start : start + config.batch_size]
             optimizer.zero_grad()
-            logits = model(Tensor(images[batch]))
-            loss = F.cross_entropy(logits, labels[batch])
-            if extra_loss is not None:
-                loss = loss + extra_loss(model)
-            loss.backward()
+            loss_value: Optional[float] = None
+            if session is not None:
+                loss_value = session.step(images[batch], labels[batch])
+            if loss_value is None:
+                logits = model(Tensor(images[batch]))
+                loss = F.cross_entropy(logits, labels[batch])
+                if extra_loss is not None:
+                    loss = loss + extra_loss(model)
+                loss.backward()
+                loss_value = float(loss.item())
             optimizer.step()
-            batch_losses.append(float(loss.item()))
+            batch_losses.append(loss_value)
         epoch_losses.append(float(np.mean(batch_losses)))
     return epoch_losses
 

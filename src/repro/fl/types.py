@@ -32,13 +32,22 @@ __all__ = [
 
 @dataclass
 class LocalTrainingConfig:
-    """Hyper-parameters of client-side local training."""
+    """Hyper-parameters of client-side local training.
+
+    ``trace`` selects the autograd execution mode: ``"replay"`` records
+    each ``(model, input-shape, dtype)`` signature once and replays the
+    buffer-planned tape (bit-identical to eager; falls back per signature
+    when a model is untraceable), ``"eager"`` forces the per-op closure
+    engine, and ``"auto"`` lets :class:`DispatchPolicy`'s ``train`` site
+    decide from the benchmark ledger.
+    """
 
     local_epochs: int = 1
     batch_size: int = 32
     learning_rate: float = 0.05
     momentum: float = 0.0
     weight_decay: float = 0.0
+    trace: str = "auto"
 
     def __post_init__(self) -> None:
         if self.local_epochs < 1:
@@ -47,6 +56,8 @@ class LocalTrainingConfig:
             raise ValueError("batch_size must be at least 1")
         if self.learning_rate <= 0:
             raise ValueError("learning_rate must be positive")
+        if self.trace not in ("auto", "replay", "eager"):
+            raise ValueError("trace must be one of 'auto', 'replay', 'eager'")
 
 
 @dataclass

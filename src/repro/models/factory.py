@@ -14,7 +14,7 @@ import numpy as np
 
 from ..data.synthetic import SyntheticImageTask
 from ..nn.modules import Module
-from .classifiers import MLP, CifarCNN, FashionCNN, SmallCNN
+from .classifiers import MLP, CifarCNN, FashionCNN, GRUClassifier, SmallCNN
 from .generator import FilterNet, TCNNGenerator
 
 __all__ = [
@@ -32,6 +32,7 @@ CLASSIFIER_REGISTRY: Dict[str, Callable[..., Module]] = {
     "cifar-cnn": CifarCNN,
     "small-cnn": SmallCNN,
     "mlp": MLP,
+    "gru": GRUClassifier,
 }
 
 _DATASET_DEFAULTS = {
@@ -93,6 +94,24 @@ class ClassifierFactory:
             self.num_classes,
             seed=self.seed,
         )
+
+    @property
+    def trace_signature(self) -> tuple:
+        """Structural identity of the models this factory builds.
+
+        Matches the ``trace_signature`` the built model declares (it is
+        seed-independent), letting callers key trace caches or dispatch
+        decisions without instantiating a model.
+        """
+        signature = getattr(self(), "trace_signature", None)
+        if signature is None:
+            signature = (
+                self.architecture,
+                self.in_channels,
+                self.image_size,
+                self.num_classes,
+            )
+        return signature
 
     @classmethod
     def for_task(

@@ -1,0 +1,353 @@
+"""Pluggable array backends for the trace-replay engine.
+
+The recorded VJP traces of :mod:`repro.nn.trace` never call ``np.*``
+directly: every kernel receives an :class:`ArrayBackend` (conventionally
+named ``xp``) and goes through it for array math.  The default backend is
+a thin veneer over numpy — method-for-method identical to the eager
+engine, so replaying a tape through :class:`NumpyBackend` is bit-identical
+to eager execution by construction.  An optional torch adapter is detected
+at import time and exposed when the dependency happens to be installed;
+it is never required (the container pins no torch), and requesting it
+without torch raises a clear error instead of importing lazily mid-round.
+
+The indirection is the contract the ``TR001`` lint rule enforces: trace
+kernels that reach around ``xp`` straight into ``np.*`` would silently pin
+the tape to numpy and break the backend seam.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ArrayBackend",
+    "NumpyBackend",
+    "TorchBackend",
+    "available_backends",
+    "get_backend",
+    "default_backend",
+    "TORCH_AVAILABLE",
+]
+
+try:  # pragma: no cover - exercised only when torch is installed
+    import torch as _torch  # type: ignore[import-not-found]
+
+    TORCH_AVAILABLE = True
+except ImportError:  # pragma: no cover - the reference container has no torch
+    _torch = None
+    TORCH_AVAILABLE = False
+
+
+class ArrayBackend:
+    """Abstract array-math seam used by trace kernels.
+
+    Subclasses provide the ufunc-style operations the kernels need, with
+    numpy calling conventions (``out=`` support where numpy has it).  The
+    surface is intentionally small: it covers exactly the operations the
+    registered trace ops perform, so a new backend has a short, explicit
+    porting checklist instead of an open-ended ``np``-compatibility goal.
+    """
+
+    name: str = "abstract"
+
+    def asarray(self, value, dtype=None):
+        raise NotImplementedError
+
+    def empty(self, shape, dtype):
+        raise NotImplementedError
+
+    def zeros(self, shape, dtype):
+        raise NotImplementedError
+
+    def arange(self, n):
+        raise NotImplementedError
+
+    def copyto(self, dst, src):
+        raise NotImplementedError
+
+    # -- elementwise ---------------------------------------------------
+    def add(self, a, b, out=None):
+        raise NotImplementedError
+
+    def subtract(self, a, b, out=None):
+        raise NotImplementedError
+
+    def multiply(self, a, b, out=None):
+        raise NotImplementedError
+
+    def divide(self, a, b, out=None):
+        raise NotImplementedError
+
+    def negative(self, a, out=None):
+        raise NotImplementedError
+
+    def power(self, a, exponent):
+        raise NotImplementedError
+
+    def exp(self, a, out=None):
+        raise NotImplementedError
+
+    def log(self, a, out=None):
+        raise NotImplementedError
+
+    def tanh(self, a, out=None):
+        raise NotImplementedError
+
+    def greater(self, a, b, out=None):
+        raise NotImplementedError
+
+    def where(self, condition, a, b):
+        raise NotImplementedError
+
+    # -- linear algebra / reductions -----------------------------------
+    def matmul(self, a, b, out=None):
+        raise NotImplementedError
+
+    def sum(self, a, axis=None, keepdims=False, out=None):
+        raise NotImplementedError
+
+    def mean(self, a, axis=None, keepdims=False, out=None):
+        raise NotImplementedError
+
+    def max(self, a, axis=None, keepdims=False, out=None):
+        raise NotImplementedError
+
+    def broadcast_to(self, a, shape):
+        raise NotImplementedError
+
+    def expand_dims(self, a, axis):
+        raise NotImplementedError
+
+    # -- structural ----------------------------------------------------
+    def add_at(self, a, index, values):
+        raise NotImplementedError
+
+    def sliding_window_view(self, a, window, axis):
+        raise NotImplementedError
+
+    def concatenate(self, arrays, axis, out=None):
+        raise NotImplementedError
+
+
+class NumpyBackend(ArrayBackend):
+    """The reference backend: every method is the numpy function itself.
+
+    Because eager mode *is* numpy, routing replay through this backend
+    keeps the bit-identity contract trivially: the same ufuncs run on the
+    same values in the same order, only the storage (plan-owned buffers
+    instead of fresh allocations) differs.
+    """
+
+    name = "numpy"
+
+    def asarray(self, value, dtype=None):
+        return np.asarray(value, dtype=dtype)
+
+    def empty(self, shape, dtype):
+        return np.empty(shape, dtype=dtype)
+
+    def zeros(self, shape, dtype):
+        return np.zeros(shape, dtype=dtype)
+
+    def arange(self, n):
+        return np.arange(n)
+
+    def copyto(self, dst, src):
+        np.copyto(dst, src)
+
+    def add(self, a, b, out=None):
+        return np.add(a, b, out=out)
+
+    def subtract(self, a, b, out=None):
+        return np.subtract(a, b, out=out)
+
+    def multiply(self, a, b, out=None):
+        return np.multiply(a, b, out=out)
+
+    def divide(self, a, b, out=None):
+        return np.divide(a, b, out=out)
+
+    def negative(self, a, out=None):
+        return np.negative(a, out=out)
+
+    def power(self, a, exponent):
+        return a ** exponent
+
+    def exp(self, a, out=None):
+        return np.exp(a, out=out)
+
+    def log(self, a, out=None):
+        return np.log(a, out=out)
+
+    def tanh(self, a, out=None):
+        return np.tanh(a, out=out)
+
+    def greater(self, a, b, out=None):
+        return np.greater(a, b, out=out)
+
+    def where(self, condition, a, b):
+        return np.where(condition, a, b)
+
+    def matmul(self, a, b, out=None):
+        return np.matmul(a, b, out=out)
+
+    def sum(self, a, axis=None, keepdims=False, out=None):
+        return np.sum(a, axis=axis, keepdims=keepdims, out=out)
+
+    def mean(self, a, axis=None, keepdims=False, out=None):
+        return np.mean(a, axis=axis, keepdims=keepdims, out=out)
+
+    def max(self, a, axis=None, keepdims=False, out=None):
+        return np.max(a, axis=axis, keepdims=keepdims, out=out)
+
+    def broadcast_to(self, a, shape):
+        return np.broadcast_to(a, shape)
+
+    def expand_dims(self, a, axis):
+        return np.expand_dims(a, axis)
+
+    def add_at(self, a, index, values):
+        np.add.at(a, index, values)
+
+    def sliding_window_view(self, a, window, axis):
+        return np.lib.stride_tricks.sliding_window_view(a, window, axis=axis)
+
+    def concatenate(self, arrays, axis, out=None):
+        return np.concatenate(arrays, axis=axis, out=out)
+
+
+class TorchBackend(ArrayBackend):  # pragma: no cover - requires torch
+    """Torch adapter (CPU tensors), available only when torch is importable.
+
+    Buffers live as ``torch.Tensor`` objects; ``asarray`` bridges from
+    numpy.  This adapter exists to prove the seam (and to let a
+    torch-equipped machine replay tapes on torch storage) — it makes no
+    bit-identity promise against the numpy path, since torch's kernels
+    round differently.
+    """
+
+    name = "torch"
+
+    def __init__(self) -> None:
+        if _torch is None:
+            raise RuntimeError(
+                "the torch backend requires torch, which is not installed; "
+                "use get_backend('numpy')"
+            )
+
+    def asarray(self, value, dtype=None):
+        tensor = _torch.as_tensor(np.asarray(value, dtype=dtype))
+        return tensor
+
+    def empty(self, shape, dtype):
+        return _torch.empty(shape, dtype=_torch.from_numpy(np.empty(0, dtype=dtype)).dtype)
+
+    def zeros(self, shape, dtype):
+        return _torch.zeros(shape, dtype=_torch.from_numpy(np.empty(0, dtype=dtype)).dtype)
+
+    def arange(self, n):
+        return _torch.arange(n)
+
+    def copyto(self, dst, src):
+        dst.copy_(src if _torch.is_tensor(src) else _torch.as_tensor(src))
+
+    def add(self, a, b, out=None):
+        return _torch.add(a, b, out=out)
+
+    def subtract(self, a, b, out=None):
+        return _torch.sub(a, b, out=out)
+
+    def multiply(self, a, b, out=None):
+        return _torch.mul(a, b, out=out)
+
+    def divide(self, a, b, out=None):
+        return _torch.div(a, b, out=out)
+
+    def negative(self, a, out=None):
+        return _torch.neg(a, out=out)
+
+    def power(self, a, exponent):
+        return a ** exponent
+
+    def exp(self, a, out=None):
+        return _torch.exp(a, out=out)
+
+    def log(self, a, out=None):
+        return _torch.log(a, out=out)
+
+    def tanh(self, a, out=None):
+        return _torch.tanh(a, out=out)
+
+    def greater(self, a, b, out=None):
+        return _torch.gt(a, b, out=out)
+
+    def where(self, condition, a, b):
+        return _torch.where(condition, a, b)
+
+    def matmul(self, a, b, out=None):
+        return _torch.matmul(a, b, out=out)
+
+    def sum(self, a, axis=None, keepdims=False, out=None):
+        if axis is None:
+            return _torch.sum(a) if out is None else _torch.sum(a, out=out)
+        return _torch.sum(a, dim=axis, keepdim=keepdims, out=out)
+
+    def mean(self, a, axis=None, keepdims=False, out=None):
+        if axis is None:
+            return _torch.mean(a) if out is None else _torch.mean(a, out=out)
+        return _torch.mean(a, dim=axis, keepdim=keepdims, out=out)
+
+    def max(self, a, axis=None, keepdims=False, out=None):
+        if axis is None:
+            return _torch.max(a)
+        return _torch.amax(a, dim=axis, keepdim=keepdims, out=out)
+
+    def broadcast_to(self, a, shape):
+        return _torch.broadcast_to(a, shape)
+
+    def expand_dims(self, a, axis):
+        return _torch.unsqueeze(a, axis)
+
+    def add_at(self, a, index, values):
+        a[index] += values
+
+    def sliding_window_view(self, a, window, axis):
+        raise NotImplementedError(
+            "the torch adapter has no sliding_window_view; conv tapes "
+            "currently replay on the numpy backend only"
+        )
+
+    def concatenate(self, arrays, axis, out=None):
+        return _torch.cat(arrays, dim=axis, out=out)
+
+
+_NUMPY_BACKEND = NumpyBackend()
+
+
+def available_backends() -> List[str]:
+    """Names of backends importable in this environment."""
+    names = ["numpy"]
+    if TORCH_AVAILABLE:
+        names.append("torch")
+    return names
+
+
+def get_backend(name: str = "numpy") -> ArrayBackend:
+    """Return the backend registered under ``name``.
+
+    ``"numpy"`` always works; ``"torch"`` works only when torch is
+    installed and otherwise raises ``RuntimeError`` with the remedy.
+    """
+    key = name.lower()
+    if key == "numpy":
+        return _NUMPY_BACKEND
+    if key == "torch":
+        return TorchBackend()
+    raise KeyError(f"unknown array backend '{name}'; available: {available_backends()}")
+
+
+def default_backend() -> ArrayBackend:
+    """The backend traces replay on unless a caller overrides it."""
+    return _NUMPY_BACKEND

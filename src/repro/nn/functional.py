@@ -203,7 +203,9 @@ def conv2d(
         return (grad_x, grad_w)
 
     parents = (x, weight) if bias is None else (x, weight, bias)
-    return Tensor._from_op(out, parents, backward)
+    return Tensor._from_op(
+        out, parents, backward, op=("conv2d", {"stride": stride, "padding": padding})
+    )
 
 
 def conv_transpose2d(
@@ -371,6 +373,11 @@ def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
     This is the training loss of benign clients, of the adversarial
     classifier and (negated) of the DFA-G generator objective.
     """
+    # The trace descriptor must reference the *caller's* targets array:
+    # the recorder matches kwarg arrays by identity against the step's
+    # declared externals, and the replay kernel re-applies the int64
+    # coercion below per step.
+    targets_arg = targets
     targets = np.asarray(targets, dtype=np.int64)
     logits_data = logits.data
     n, num_classes = logits_data.shape
@@ -389,7 +396,12 @@ def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
         grad_logits *= float(grad) / n
         return (grad_logits,)
 
-    return Tensor._from_op(np.asarray(loss, dtype=logits_data.dtype), (logits,), backward)
+    return Tensor._from_op(
+        np.asarray(loss, dtype=logits_data.dtype),
+        (logits,),
+        backward,
+        op=("cross_entropy", {"targets": targets_arg}),
+    )
 
 
 def soft_cross_entropy(logits: Tensor, target_probs: np.ndarray) -> Tensor:

@@ -17,7 +17,7 @@ import numpy as np
 
 from . import functional as F
 from . import init
-from .tensor import Tensor
+from .tensor import Tensor, trace_fallback
 
 __all__ = [
     "Parameter",
@@ -310,6 +310,9 @@ class BatchNorm2d(Module):
         self.register_buffer("running_var", np.ones(num_features, dtype=np.float32))
 
     def forward(self, x: Tensor) -> Tensor:
+        # Batch statistics and the running-buffer update are data-dependent
+        # state mutation a static tape cannot capture.
+        trace_fallback("BatchNorm2d mutates running statistics per step")
         if self.training:
             mean = x.data.mean(axis=(0, 2, 3))
             var = x.data.var(axis=(0, 2, 3))
@@ -389,6 +392,9 @@ class Dropout(Module):
     def forward(self, x: Tensor) -> Tensor:
         if not self.training or self.p == 0.0:
             return x
+        # A fresh RNG mask per step would be baked into the tape as a
+        # constant; dropout models must train eagerly.
+        trace_fallback("Dropout draws a fresh RNG mask per step")
         keep = 1.0 - self.p
         mask = (self._rng.random(x.shape) < keep).astype(x.data.dtype) / keep
         return x * Tensor(mask)

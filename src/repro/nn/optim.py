@@ -22,10 +22,21 @@ class Optimizer:
             raise ValueError("learning rate must be positive")
         self.lr = lr
 
-    def zero_grad(self) -> None:
-        """Clear gradients of all managed parameters."""
+    def zero_grad(self, set_to_none: bool = True) -> None:
+        """Clear gradients of all managed parameters.
+
+        The default drops the reference (``param.grad = None``) instead of
+        zeroing storage: under trace replay ``param.grad`` is a plan-owned
+        buffer that the next replayed step overwrites wholesale, so
+        zeroing it would be wasted work (and would mutate storage shared
+        with the plan).  Pass ``set_to_none=False`` to zero in place for
+        callers that accumulate gradients across micro-batches.
+        """
         for param in self.parameters:
-            param.zero_grad()
+            if set_to_none:
+                param.zero_grad()
+            elif param.grad is not None:
+                param.grad.fill(0.0)
 
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError

@@ -18,7 +18,7 @@ import numpy as np
 
 from . import init
 from .modules import Linear, Module, Parameter
-from .tensor import Tensor
+from .tensor import Tensor, trace_fallback
 
 __all__ = ["Embedding", "GRUCell", "GRU"]
 
@@ -59,6 +59,9 @@ class Embedding(Module):
         indices = np.asarray(tokens, dtype=np.int64)
         if indices.min() < 0 or indices.max() >= self.num_embeddings:
             raise ValueError("token index out of range")
+        # The gather depends on the concrete token values of this batch;
+        # a static tape would bake them in.
+        trace_fallback("Embedding integer lookup is data-dependent")
         return self.weight[indices]
 
 
@@ -96,22 +99,32 @@ class GRUCell(Module):
 
 
 class GRU(Module):
-    """Unidirectional single-layer GRU over ``(batch, time, features)`` input."""
+    """Unidirectional single-layer GRU over ``(batch, time, features)`` input.
+
+    With ``return_sequences=False`` only the final hidden state is built
+    (the per-step output assembly — a quadratic chain of time-axis
+    concatenations — is skipped entirely and the first return value is
+    ``None``).  Sequence classifiers that read only the last state should
+    use this mode; it also keeps the recorded trace linear in the number
+    of time steps.
+    """
 
     def __init__(
         self,
         input_size: int,
         hidden_size: int,
         rng: Optional[np.random.Generator] = None,
+        return_sequences: bool = True,
     ) -> None:
         super().__init__()
         self.input_size = input_size
         self.hidden_size = hidden_size
+        self.return_sequences = return_sequences
         self.cell = GRUCell(input_size, hidden_size, rng=rng)
 
     def forward(
         self, sequence: Tensor, hidden: Optional[Tensor] = None
-    ) -> Tuple[Tensor, Tensor]:
+    ) -> Tuple[Optional[Tensor], Tensor]:
         if sequence.ndim != 3:
             raise ValueError("GRU expects input of shape (batch, time, features)")
         batch, time_steps, _ = sequence.shape
@@ -119,7 +132,10 @@ class GRU(Module):
         state = hidden
         for step in range(time_steps):
             state = self.cell(sequence[:, step, :], state)
-            outputs.append(state.reshape(batch, 1, self.hidden_size))
+            if self.return_sequences:
+                outputs.append(state.reshape(batch, 1, self.hidden_size))
+        if not self.return_sequences:
+            return None, state
         full = outputs[0]
         for chunk in outputs[1:]:
             full = _concat_time(full, chunk)
@@ -135,4 +151,4 @@ def _concat_time(left: Tensor, right: Tensor) -> Tensor:
     def backward(grad: np.ndarray):
         return (grad[:, :left_t, :], grad[:, left_t : left_t + right_t, :])
 
-    return Tensor._from_op(data, (left, right), backward)
+    return Tensor._from_op(data, (left, right), backward, op=("concat_time", {}))

@@ -21,7 +21,7 @@ from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-__all__ = ["Tensor", "DEFAULT_DTYPE", "no_grad", "is_grad_enabled"]
+__all__ = ["Tensor", "DEFAULT_DTYPE", "no_grad", "is_grad_enabled", "trace_fallback"]
 
 #: Default floating point type for tensors created from Python data.
 DEFAULT_DTYPE = np.float32
@@ -36,6 +36,27 @@ ArrayLike = Union[np.ndarray, float, int, Sequence]
 #: gradient recording permanently disabled, the other builds stray graphs
 #: mid-inference).
 _GRAD_STATE = threading.local()
+
+#: Per-thread trace recorder hook.  While :mod:`repro.nn.trace` records a
+#: step, ``_TRACE_STATE.recorder`` observes every ``_from_op`` call; ops
+#: carry a ``(name, kwargs)`` descriptor when they are replayable and pass
+#: ``op=None`` otherwise, which poisons the recording and pins that step
+#: signature to eager execution.  Thread-local for the same reason as
+#: ``_GRAD_STATE``: pooled executor threads record independently.
+_TRACE_STATE = threading.local()
+
+
+def trace_fallback(reason: str) -> None:
+    """Mark the active trace recording (if any) as not replayable.
+
+    Called by ops whose effects cannot be captured in a static tape:
+    fresh RNG draws (Dropout masks), in-place buffer mutation
+    (BatchNorm running stats) or data-dependent indexing (integer
+    embedding lookups).  A no-op when nothing is recording.
+    """
+    recorder = getattr(_TRACE_STATE, "recorder", None)
+    if recorder is not None:
+        recorder.fail(reason)
 
 
 class no_grad:
@@ -122,11 +143,17 @@ class Tensor:
         data: np.ndarray,
         parents: Iterable["Tensor"],
         backward: Callable[[np.ndarray], None],
+        op: Optional[Tuple[str, dict]] = None,
     ) -> "Tensor":
         """Create the result of an operation, wiring the backward closure.
 
         When gradient recording is disabled, or none of the parents
         require gradients, the result is a detached constant tensor.
+
+        ``op`` is the optional trace descriptor ``(name, static_kwargs)``
+        consumed by an active :class:`repro.nn.trace.TraceRecorder`; ops
+        without one are simply not replayable and force the recording
+        signature back to eager execution.
         """
         parents = tuple(parents)
         requires_grad = is_grad_enabled() and any(p.requires_grad for p in parents)
@@ -135,6 +162,9 @@ class Tensor:
         if requires_grad:
             out._parents = parents
             out._backward = backward
+        recorder = getattr(_TRACE_STATE, "recorder", None)
+        if recorder is not None:
+            recorder.record_op(out, parents, op)
         return out
 
     @staticmethod
@@ -290,7 +320,7 @@ class Tensor:
                 _unbroadcast(grad, other.shape),
             )
 
-        return Tensor._from_op(data, (self, other), backward)
+        return Tensor._from_op(data, (self, other), backward, op=("add", {}))
 
     __radd__ = __add__
 
@@ -304,7 +334,7 @@ class Tensor:
                 _unbroadcast(-grad, other.shape),
             )
 
-        return Tensor._from_op(data, (self, other), backward)
+        return Tensor._from_op(data, (self, other), backward, op=("sub", {}))
 
     def __rsub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
         return Tensor.as_tensor(other).__sub__(self)
@@ -320,7 +350,7 @@ class Tensor:
                 _unbroadcast(grad * self_data, other.shape),
             )
 
-        return Tensor._from_op(data, (self, other), backward)
+        return Tensor._from_op(data, (self, other), backward, op=("mul", {}))
 
     __rmul__ = __mul__
 
@@ -346,7 +376,7 @@ class Tensor:
         def backward(grad: np.ndarray):
             return (-grad,)
 
-        return Tensor._from_op(data, (self,), backward)
+        return Tensor._from_op(data, (self,), backward, op=("neg", {}))
 
     def __pow__(self, exponent: float) -> "Tensor":
         if not isinstance(exponent, (int, float)):
@@ -375,7 +405,7 @@ class Tensor:
                 _unbroadcast(grad_b, b.shape),
             )
 
-        return Tensor._from_op(data, (self, other), backward)
+        return Tensor._from_op(data, (self, other), backward, op=("matmul", {}))
 
     # ------------------------------------------------------------------
     # Reductions
@@ -393,7 +423,9 @@ class Tensor:
                 g = np.expand_dims(g, axis=axis)
             return (np.broadcast_to(g, input_shape).copy(),)
 
-        return Tensor._from_op(data, (self,), backward)
+        return Tensor._from_op(
+            data, (self,), backward, op=("sum", {"axis": axis, "keepdims": keepdims})
+        )
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         """Arithmetic mean of elements, optionally along ``axis``."""
@@ -415,7 +447,9 @@ class Tensor:
                 g = np.expand_dims(g, axis=axis)
             return (np.broadcast_to(g, input_shape) / count,)
 
-        return Tensor._from_op(data, (self,), backward)
+        return Tensor._from_op(
+            data, (self,), backward, op=("mean", {"axis": axis, "keepdims": keepdims})
+        )
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
         """Maximum of elements; gradient flows to the (first) maxima."""
@@ -448,7 +482,9 @@ class Tensor:
         def backward(grad: np.ndarray):
             return (grad.reshape(original_shape),)
 
-        return Tensor._from_op(data, (self,), backward)
+        return Tensor._from_op(
+            data, (self,), backward, op=("reshape", {"shape": data.shape})
+        )
 
     def flatten_batch(self) -> "Tensor":
         """Flatten all dimensions except the leading (batch) dimension."""
@@ -464,7 +500,7 @@ class Tensor:
             inverse = np.argsort(axes)
             return (grad.transpose(inverse),)
 
-        return Tensor._from_op(data, (self,), backward)
+        return Tensor._from_op(data, (self,), backward, op=("transpose", {"axes": axes}))
 
     def __getitem__(self, index) -> "Tensor":
         data = self.data[index]
@@ -476,7 +512,7 @@ class Tensor:
             np.add.at(full, index, grad)
             return (full,)
 
-        return Tensor._from_op(data, (self,), backward)
+        return Tensor._from_op(data, (self,), backward, op=("getitem", {"index": index}))
 
     # ------------------------------------------------------------------
     # Element-wise non-linearities
@@ -488,7 +524,7 @@ class Tensor:
         def backward(grad: np.ndarray):
             return (grad * data,)
 
-        return Tensor._from_op(data, (self,), backward)
+        return Tensor._from_op(data, (self,), backward, op=("exp", {}))
 
     def log(self) -> "Tensor":
         """Element-wise natural logarithm."""
@@ -498,7 +534,7 @@ class Tensor:
         def backward(grad: np.ndarray):
             return (grad / source,)
 
-        return Tensor._from_op(data, (self,), backward)
+        return Tensor._from_op(data, (self,), backward, op=("log", {}))
 
     def sqrt(self) -> "Tensor":
         """Element-wise square root."""
@@ -527,7 +563,7 @@ class Tensor:
         def backward(grad: np.ndarray):
             return (grad * mask,)
 
-        return Tensor._from_op(data, (self,), backward)
+        return Tensor._from_op(data, (self,), backward, op=("relu", {}))
 
     def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
         """Leaky rectified linear unit."""
@@ -537,7 +573,12 @@ class Tensor:
         def backward(grad: np.ndarray):
             return (np.where(mask, grad, negative_slope * grad),)
 
-        return Tensor._from_op(data, (self,), backward)
+        return Tensor._from_op(
+            data,
+            (self,),
+            backward,
+            op=("leaky_relu", {"negative_slope": negative_slope}),
+        )
 
     def tanh(self) -> "Tensor":
         """Hyperbolic tangent."""
@@ -546,7 +587,7 @@ class Tensor:
         def backward(grad: np.ndarray):
             return (grad * (1.0 - data ** 2),)
 
-        return Tensor._from_op(data, (self,), backward)
+        return Tensor._from_op(data, (self,), backward, op=("tanh", {}))
 
     def sigmoid(self) -> "Tensor":
         """Logistic sigmoid."""
@@ -555,7 +596,7 @@ class Tensor:
         def backward(grad: np.ndarray):
             return (grad * data * (1.0 - data),)
 
-        return Tensor._from_op(data, (self,), backward)
+        return Tensor._from_op(data, (self,), backward, op=("sigmoid", {}))
 
     def clip(self, low: float, high: float) -> "Tensor":
         """Clamp values into ``[low, high]``; gradient is zero outside."""

@@ -1,0 +1,754 @@
+"""Registered trace kernels: compile-time forward/VJP builders per op.
+
+Every kernel replicates the exact numpy expressions of the eager
+closures in :mod:`repro.nn.tensor` / :mod:`repro.nn.functional` — same
+ufuncs, same operand order, same accumulation order — so replaying a
+tape is bit-identical to the eager step it recorded.  The only
+difference is storage: outputs, saved activations and gradients live in
+plan-owned buffers that persist across steps instead of per-step
+allocations.
+
+Contract (enforced by the ``TR001``/``TR002`` lint rules):
+
+- kernels never call ``np.*`` directly; all array math goes through the
+  ``xp`` :class:`~repro.nn.backend.ArrayBackend` argument (array
+  *methods* like ``.reshape``/``.transpose`` are backend-neutral and
+  allowed);
+- registrations happen at module level with module-level named
+  functions, so worker processes rebuild the same registry on import.
+
+Bit-identity notes baked into individual kernels:
+
+- ``tanh``'s VJP uses ``xp.power(data, 2)`` (= ``data ** 2``), never a
+  ``square`` shortcut: numpy does not promise ``np.square`` matches
+  ``**`` bitwise.
+- scalar-array ops keep the eager operand order where it matters and
+  rely on IEEE commutativity (``a*b == b*a`` bitwise) where it does not.
+- "store" edges write gradients straight into the parent's plan buffer
+  (fused ``out=``), "add" edges go through an edge scratch then a single
+  ``xp.add`` — exactly the ``grads[key] = grads[key] + pgrad`` order of
+  the eager accumulation.
+"""
+
+from __future__ import annotations
+
+from .tensor import _unbroadcast
+from .trace import TraceUnsupported, register_trace_op
+
+
+# ----------------------------------------------------------------------
+# Element-wise arithmetic
+# ----------------------------------------------------------------------
+def _forward_add(xp, ctx):
+    a, b = ctx.parents
+    out = ctx.alloc_out()
+    o = ctx.out
+
+    def run(vals):
+        xp.add(vals[a], vals[b], out=out)
+        vals[o] = out
+
+    return run
+
+
+def _vjp_add(xp, ctx):
+    g = ctx.grad_in()
+    out_shape = ctx.out_shape
+    sinks = []
+    for pos in (0, 1):
+        sink = ctx.sink(pos)
+        if sink is not None:
+            sinks.append((sink, ctx.shape(ctx.parents[pos])))
+
+    def run(vals):
+        for sink, shape in sinks:
+            sink.write(g if shape == out_shape else _unbroadcast(g, shape))
+
+    return run
+
+
+def _forward_sub(xp, ctx):
+    a, b = ctx.parents
+    out = ctx.alloc_out()
+    o = ctx.out
+
+    def run(vals):
+        xp.subtract(vals[a], vals[b], out=out)
+        vals[o] = out
+
+    return run
+
+
+def _vjp_sub(xp, ctx):
+    g = ctx.grad_in()
+    out_shape = ctx.out_shape
+    sink0 = ctx.sink(0)
+    sink1 = ctx.sink(1)
+    shape0 = ctx.shape(ctx.parents[0])
+    shape1 = ctx.shape(ctx.parents[1])
+
+    def run(vals):
+        if sink0 is not None:
+            sink0.write(g if shape0 == out_shape else _unbroadcast(g, shape0))
+        if sink1 is not None:
+            if shape1 == out_shape:
+                xp.negative(g, out=sink1.out)
+                sink1.commit()
+            else:
+                sink1.write(_unbroadcast(xp.negative(g), shape1))
+
+    return run
+
+
+def _forward_mul(xp, ctx):
+    a, b = ctx.parents
+    out = ctx.alloc_out()
+    o = ctx.out
+
+    def run(vals):
+        xp.multiply(vals[a], vals[b], out=out)
+        vals[o] = out
+
+    return run
+
+
+def _vjp_mul(xp, ctx):
+    g = ctx.grad_in()
+    out_shape = ctx.out_shape
+    a, b = ctx.parents
+    sink0 = ctx.sink(0)
+    sink1 = ctx.sink(1)
+    shape0 = ctx.shape(a)
+    shape1 = ctx.shape(b)
+
+    def run(vals):
+        if sink0 is not None:
+            if shape0 == out_shape:
+                xp.multiply(g, vals[b], out=sink0.out)
+                sink0.commit()
+            else:
+                sink0.write(_unbroadcast(xp.multiply(g, vals[b]), shape0))
+        if sink1 is not None:
+            if shape1 == out_shape:
+                xp.multiply(g, vals[a], out=sink1.out)
+                sink1.commit()
+            else:
+                sink1.write(_unbroadcast(xp.multiply(g, vals[a]), shape1))
+
+    return run
+
+
+def _forward_neg(xp, ctx):
+    (a,) = ctx.parents
+    out = ctx.alloc_out()
+    o = ctx.out
+
+    def run(vals):
+        xp.negative(vals[a], out=out)
+        vals[o] = out
+
+    return run
+
+
+def _vjp_neg(xp, ctx):
+    g = ctx.grad_in()
+    sink = ctx.sink(0)
+
+    def run(vals):
+        if sink is not None:
+            xp.negative(g, out=sink.out)
+            sink.commit()
+
+    return run
+
+
+def _forward_matmul(xp, ctx):
+    a, b = ctx.parents
+    if len(ctx.shape(a)) != 2 or len(ctx.shape(b)) != 2:
+        raise TraceUnsupported("only 2-D matmul is replayable")
+    out = ctx.alloc_out()
+    o = ctx.out
+
+    def run(vals):
+        xp.matmul(vals[a], vals[b], out=out)
+        vals[o] = out
+
+    return run
+
+
+def _vjp_matmul(xp, ctx):
+    g = ctx.grad_in()
+    a, b = ctx.parents
+    sink0 = ctx.sink(0)
+    sink1 = ctx.sink(1)
+
+    def run(vals):
+        if sink0 is not None:
+            xp.matmul(g, vals[b].T, out=sink0.out)
+            sink0.commit()
+        if sink1 is not None:
+            xp.matmul(vals[a].T, g, out=sink1.out)
+            sink1.commit()
+
+    return run
+
+
+# ----------------------------------------------------------------------
+# Reductions
+# ----------------------------------------------------------------------
+def _forward_sum(xp, ctx):
+    (a,) = ctx.parents
+    axis = ctx.kwargs["axis"]
+    keepdims = ctx.kwargs["keepdims"]
+    out = ctx.alloc_out()
+    o = ctx.out
+
+    def run(vals):
+        xp.sum(vals[a], axis=axis, keepdims=keepdims, out=out)
+        vals[o] = out
+
+    return run
+
+
+def _vjp_sum(xp, ctx):
+    g = ctx.grad_in()
+    axis = ctx.kwargs["axis"]
+    keepdims = ctx.kwargs["keepdims"]
+    input_shape = ctx.shape(ctx.parents[0])
+    sink = ctx.sink(0)
+    # g is a stable plan buffer, so the expand/broadcast views can be
+    # taken once at compile time.
+    expanded = g
+    if axis is not None and not keepdims:
+        expanded = xp.expand_dims(g, axis)
+    broadcast = xp.broadcast_to(expanded, input_shape)
+
+    def run(vals):
+        if sink is not None:
+            sink.write(broadcast)
+
+    return run
+
+
+def _forward_mean(xp, ctx):
+    (a,) = ctx.parents
+    axis = ctx.kwargs["axis"]
+    keepdims = ctx.kwargs["keepdims"]
+    out = ctx.alloc_out()
+    o = ctx.out
+
+    def run(vals):
+        xp.mean(vals[a], axis=axis, keepdims=keepdims, out=out)
+        vals[o] = out
+
+    return run
+
+
+def _vjp_mean(xp, ctx):
+    g = ctx.grad_in()
+    axis = ctx.kwargs["axis"]
+    keepdims = ctx.kwargs["keepdims"]
+    input_shape = ctx.shape(ctx.parents[0])
+    sink = ctx.sink(0)
+    if axis is None:
+        count = 1
+        for dim in input_shape:
+            count *= dim
+    else:
+        axes = axis if isinstance(axis, tuple) else (axis,)
+        count = 1
+        for ax in axes:
+            count *= input_shape[ax]
+    expanded = g
+    if axis is not None and not keepdims:
+        expanded = xp.expand_dims(g, axis)
+    broadcast = xp.broadcast_to(expanded, input_shape)
+
+    def run(vals):
+        if sink is not None:
+            xp.divide(broadcast, count, out=sink.out)
+            sink.commit()
+
+    return run
+
+
+# ----------------------------------------------------------------------
+# Shape manipulation (outputs are per-step views; gradients still land
+# in this node's own plan buffer, never aliasing the parent's)
+# ----------------------------------------------------------------------
+def _forward_reshape(xp, ctx):
+    (a,) = ctx.parents
+    shape = ctx.kwargs["shape"]
+    o = ctx.out
+
+    def run(vals):
+        vals[o] = vals[a].reshape(shape)
+
+    return run
+
+
+def _vjp_reshape(xp, ctx):
+    g = ctx.grad_in()
+    input_shape = ctx.shape(ctx.parents[0])
+    sink = ctx.sink(0)
+    g_view = g.reshape(input_shape)
+
+    def run(vals):
+        if sink is not None:
+            sink.write(g_view)
+
+    return run
+
+
+def _forward_transpose(xp, ctx):
+    (a,) = ctx.parents
+    axes = ctx.kwargs["axes"]
+    o = ctx.out
+
+    def run(vals):
+        vals[o] = vals[a].transpose(axes)
+
+    return run
+
+
+def _vjp_transpose(xp, ctx):
+    g = ctx.grad_in()
+    axes = ctx.kwargs["axes"]
+    sink = ctx.sink(0)
+    if axes is None:
+        g_view = g.transpose()
+    else:
+        inverse = tuple(sorted(range(len(axes)), key=axes.__getitem__))
+        g_view = g.transpose(inverse)
+
+    def run(vals):
+        if sink is not None:
+            sink.write(g_view)
+
+    return run
+
+
+def _forward_getitem(xp, ctx):
+    (a,) = ctx.parents
+    index = ctx.kwargs["index"]
+    o = ctx.out
+
+    def run(vals):
+        vals[o] = vals[a][index]
+
+    return run
+
+
+def _vjp_getitem(xp, ctx):
+    g = ctx.grad_in()
+    index = ctx.kwargs["index"]
+    sink = ctx.sink(0)
+
+    def run(vals):
+        if sink is not None:
+            xp.copyto(sink.out, 0.0)
+            xp.add_at(sink.out, index, g)
+            sink.commit()
+
+    return run
+
+
+# ----------------------------------------------------------------------
+# Element-wise non-linearities
+# ----------------------------------------------------------------------
+def _forward_relu(xp, ctx):
+    (a,) = ctx.parents
+    out = ctx.alloc_out()
+    mask = ctx.scratch("mask", ctx.out_shape, "bool")
+    o = ctx.out
+
+    def run(vals):
+        xp.greater(vals[a], 0, out=mask)
+        xp.multiply(vals[a], mask, out=out)
+        vals[o] = out
+
+    return run
+
+
+def _vjp_relu(xp, ctx):
+    g = ctx.grad_in()
+    mask = ctx.saved("mask")
+    sink = ctx.sink(0)
+
+    def run(vals):
+        if sink is not None:
+            xp.multiply(g, mask, out=sink.out)
+            sink.commit()
+
+    return run
+
+
+def _forward_leaky_relu(xp, ctx):
+    (a,) = ctx.parents
+    slope = ctx.kwargs["negative_slope"]
+    mask = ctx.scratch("mask", ctx.out_shape, "bool")
+    o = ctx.out
+
+    def run(vals):
+        xp.greater(vals[a], 0, out=mask)
+        vals[o] = xp.where(mask, vals[a], xp.multiply(vals[a], slope))
+
+    return run
+
+
+def _vjp_leaky_relu(xp, ctx):
+    g = ctx.grad_in()
+    slope = ctx.kwargs["negative_slope"]
+    mask = ctx.saved("mask")
+    sink = ctx.sink(0)
+
+    def run(vals):
+        if sink is not None:
+            sink.write(xp.where(mask, g, xp.multiply(g, slope)))
+
+    return run
+
+
+def _forward_tanh(xp, ctx):
+    (a,) = ctx.parents
+    out = ctx.alloc_out()
+    o = ctx.out
+
+    def run(vals):
+        xp.tanh(vals[a], out=out)
+        vals[o] = out
+
+    return run
+
+
+def _vjp_tanh(xp, ctx):
+    g = ctx.grad_in()
+    out = ctx.saved_output()
+    sink = ctx.sink(0)
+
+    def run(vals):
+        if sink is not None:
+            squared = xp.power(out, 2)
+            xp.subtract(1.0, squared, out=squared)
+            xp.multiply(g, squared, out=sink.out)
+            sink.commit()
+
+    return run
+
+
+def _forward_sigmoid(xp, ctx):
+    (a,) = ctx.parents
+    out = ctx.alloc_out()
+    tmp = ctx.scratch("tmp", ctx.out_shape, ctx.out_dtype)
+    o = ctx.out
+
+    def run(vals):
+        xp.negative(vals[a], out=tmp)
+        xp.exp(tmp, out=tmp)
+        xp.add(1.0, tmp, out=tmp)
+        xp.divide(1.0, tmp, out=out)
+        vals[o] = out
+
+    return run
+
+
+def _vjp_sigmoid(xp, ctx):
+    g = ctx.grad_in()
+    out = ctx.saved_output()
+    tmp = ctx.saved("tmp")
+    one_minus = ctx.scratch("one_minus", ctx.out_shape, ctx.out_dtype)
+    sink = ctx.sink(0)
+
+    def run(vals):
+        if sink is not None:
+            xp.multiply(g, out, out=tmp)
+            xp.subtract(1.0, out, out=one_minus)
+            xp.multiply(tmp, one_minus, out=sink.out)
+            sink.commit()
+
+    return run
+
+
+def _forward_exp(xp, ctx):
+    (a,) = ctx.parents
+    out = ctx.alloc_out()
+    o = ctx.out
+
+    def run(vals):
+        xp.exp(vals[a], out=out)
+        vals[o] = out
+
+    return run
+
+
+def _vjp_exp(xp, ctx):
+    g = ctx.grad_in()
+    out = ctx.saved_output()
+    sink = ctx.sink(0)
+
+    def run(vals):
+        if sink is not None:
+            xp.multiply(g, out, out=sink.out)
+            sink.commit()
+
+    return run
+
+
+def _forward_log(xp, ctx):
+    (a,) = ctx.parents
+    out = ctx.alloc_out()
+    o = ctx.out
+
+    def run(vals):
+        xp.log(vals[a], out=out)
+        vals[o] = out
+
+    return run
+
+
+def _vjp_log(xp, ctx):
+    g = ctx.grad_in()
+    (a,) = ctx.parents
+    sink = ctx.sink(0)
+
+    def run(vals):
+        if sink is not None:
+            xp.divide(g, vals[a], out=sink.out)
+            sink.commit()
+
+    return run
+
+
+# ----------------------------------------------------------------------
+# Convolution (batched-GEMM im2col, mirroring functional.conv2d)
+# ----------------------------------------------------------------------
+def _forward_conv2d(xp, ctx):
+    stride = ctx.kwargs["stride"]
+    padding = ctx.kwargs["padding"]
+    x_slot, w_slot = ctx.parents[0], ctx.parents[1]
+    b_slot = ctx.parents[2] if len(ctx.parents) > 2 else None
+    n, c, h, w = ctx.shape(x_slot)
+    out_channels, _, kh, kw = ctx.shape(w_slot)
+    _, _, out_h, out_w = ctx.out_shape
+    length = out_h * out_w
+    features = c * kh * kw
+    dtype = ctx.out_dtype
+    out = ctx.alloc_out()
+    out3 = out.reshape(n, out_channels, length)
+    # The column buffer is plan-owned storage, visible to the backward
+    # kernel through saved() — never a closure cell (the eager engine's
+    # cols capture is exactly what the buffer plan replaces).
+    cols = ctx.scratch("cols", (n, features, length), dtype)
+    cols6 = cols.reshape(n, c, kh, kw, out_h, out_w)
+    o = ctx.out
+
+    if padding:
+        padded = ctx.scratch(
+            "padded", (n, c, h + 2 * padding, w + 2 * padding), ctx.dtype(x_slot)
+        )
+        # Borders are written once here and never touched again; only the
+        # interior is refreshed per step, matching np.pad's zero borders.
+        xp.copyto(padded, 0.0)
+        interior = padded[:, :, padding:-padding, padding:-padding]
+        windows = xp.sliding_window_view(padded, (kh, kw), axis=(2, 3))
+        if stride > 1:
+            windows = windows[:, :, ::stride, ::stride]
+        windows_t = windows.transpose(0, 1, 4, 5, 2, 3)
+
+        def run(vals):
+            xp.copyto(interior, vals[x_slot])
+            xp.copyto(cols6, windows_t)
+            w_mat = vals[w_slot].reshape(out_channels, features)
+            xp.matmul(w_mat, cols, out=out3)
+            if b_slot is not None:
+                xp.add(out, vals[b_slot].reshape(1, out_channels, 1, 1), out=out)
+            vals[o] = out
+
+    else:
+
+        def run(vals):
+            windows = xp.sliding_window_view(vals[x_slot], (kh, kw), axis=(2, 3))
+            if stride > 1:
+                windows = windows[:, :, ::stride, ::stride]
+            xp.copyto(cols6, windows.transpose(0, 1, 4, 5, 2, 3))
+            w_mat = vals[w_slot].reshape(out_channels, features)
+            xp.matmul(w_mat, cols, out=out3)
+            if b_slot is not None:
+                xp.add(out, vals[b_slot].reshape(1, out_channels, 1, 1), out=out)
+            vals[o] = out
+
+    return run
+
+
+def _vjp_conv2d(xp, ctx):
+    stride = ctx.kwargs["stride"]
+    padding = ctx.kwargs["padding"]
+    x_slot, w_slot = ctx.parents[0], ctx.parents[1]
+    b_slot = ctx.parents[2] if len(ctx.parents) > 2 else None
+    n, c, h, w = ctx.shape(x_slot)
+    out_channels, _, kh, kw = ctx.shape(w_slot)
+    _, _, out_h, out_w = ctx.out_shape
+    length = out_h * out_w
+    features = c * kh * kw
+    dtype = ctx.out_dtype
+    g = ctx.grad_in()
+    g3 = g.reshape(n, out_channels, length)
+    cols = ctx.saved("cols")
+    x_sink = ctx.sink(0)
+    w_sink = ctx.sink(1)
+    b_sink = ctx.sink(2) if b_slot is not None else None
+
+    gw_stack = None
+    if w_sink is not None:
+        gw_stack = ctx.scratch("gw_stack", (n, out_channels, features), dtype)
+
+    grad_cols = None
+    pad_buf = None
+    interior = None
+    if x_sink is not None:
+        if w_sink is None:
+            # Same liveness rule as the eager closure: nothing reads cols
+            # after this node's backward when the weight is frozen, so
+            # grad_cols may reuse its storage.  The alias is declared in
+            # the plan's saved map, not hidden in a closure cell.
+            grad_cols = ctx.alias_saved("grad_cols", cols)
+        else:
+            grad_cols = ctx.scratch("grad_cols", (n, features, length), dtype)
+        pad_buf = ctx.scratch(
+            "gx_padded", (n, c, h + 2 * padding, w + 2 * padding), ctx.dtype(x_slot)
+        )
+        interior = (
+            pad_buf[:, :, padding:-padding, padding:-padding] if padding else pad_buf
+        )
+    gc6 = grad_cols.reshape(n, c, kh, kw, out_h, out_w) if grad_cols is not None else None
+
+    def run(vals):
+        if w_sink is not None:
+            xp.matmul(g3, cols.transpose(0, 2, 1), out=gw_stack)
+            xp.sum(gw_stack, axis=0, out=w_sink.out.reshape(out_channels, features))
+            w_sink.commit()
+        if x_sink is not None:
+            w_mat = vals[w_slot].reshape(out_channels, features)
+            xp.matmul(w_mat.T, g3, out=grad_cols)
+            xp.copyto(pad_buf, 0.0)
+            for i in range(kh):
+                i_end = i + stride * out_h
+                for j in range(kw):
+                    j_end = j + stride * out_w
+                    tap = pad_buf[:, :, i:i_end:stride, j:j_end:stride]
+                    xp.add(tap, gc6[:, :, i, j, :, :], out=tap)
+            x_sink.write(interior)
+        if b_sink is not None:
+            xp.sum(g, axis=(0, 2, 3), out=b_sink.out)
+            b_sink.commit()
+
+    return run
+
+
+# ----------------------------------------------------------------------
+# Cross-entropy loss (the training-loop root)
+# ----------------------------------------------------------------------
+def _forward_cross_entropy(xp, ctx):
+    (logits_slot,) = ctx.parents
+    targets_slot = ctx.kwargs["targets"].slot
+    n, num_classes = ctx.shape(logits_slot)
+    dtype = ctx.dtype(logits_slot)
+    out = ctx.alloc_out()
+    max_buf = ctx.scratch("max", (n, 1), dtype)
+    shifted = ctx.scratch("shifted", (n, num_classes), dtype)
+    exp_buf = ctx.scratch("exp", (n, num_classes), dtype)
+    sum_buf = ctx.scratch("sum", (n, 1), dtype)
+    log_probs = ctx.scratch("log_probs", (n, num_classes), dtype)
+    probs = ctx.scratch("probs", (n, num_classes), dtype)
+    rows = xp.arange(n)
+    o = ctx.out
+
+    def run(vals):
+        logits = vals[logits_slot]
+        targets = xp.asarray(vals[targets_slot], dtype="int64")
+        xp.max(logits, axis=1, keepdims=True, out=max_buf)
+        xp.subtract(logits, max_buf, out=shifted)
+        xp.exp(shifted, out=exp_buf)
+        xp.sum(exp_buf, axis=1, keepdims=True, out=sum_buf)
+        xp.log(sum_buf, out=sum_buf)
+        xp.subtract(shifted, sum_buf, out=log_probs)
+        picked = log_probs[rows, targets]
+        out[...] = -picked.mean()
+        xp.exp(log_probs, out=probs)
+        vals[o] = out
+
+    return run
+
+
+def _vjp_cross_entropy(xp, ctx):
+    (logits_slot,) = ctx.parents
+    targets_slot = ctx.kwargs["targets"].slot
+    n, _ = ctx.shape(logits_slot)
+    g = ctx.grad_in()
+    probs = ctx.saved("probs")
+    rows = xp.arange(n)
+    sink = ctx.sink(0)
+
+    def run(vals):
+        if sink is not None:
+            targets = xp.asarray(vals[targets_slot], dtype="int64")
+            xp.copyto(sink.out, probs)
+            sink.out[rows, targets] -= 1.0
+            xp.multiply(sink.out, float(g) / n, out=sink.out)
+            sink.commit()
+
+    return run
+
+
+# ----------------------------------------------------------------------
+# Time-axis concatenation (GRU output assembly)
+# ----------------------------------------------------------------------
+def _forward_concat_time(xp, ctx):
+    a, b = ctx.parents
+    out = ctx.alloc_out()
+    o = ctx.out
+
+    def run(vals):
+        xp.concatenate([vals[a], vals[b]], axis=1, out=out)
+        vals[o] = out
+
+    return run
+
+
+def _vjp_concat_time(xp, ctx):
+    g = ctx.grad_in()
+    left_t = ctx.shape(ctx.parents[0])[1]
+    right_t = ctx.shape(ctx.parents[1])[1]
+    sink0 = ctx.sink(0)
+    sink1 = ctx.sink(1)
+    left_view = g[:, :left_t, :]
+    right_view = g[:, left_t : left_t + right_t, :]
+
+    def run(vals):
+        if sink0 is not None:
+            sink0.write(left_view)
+        if sink1 is not None:
+            sink1.write(right_view)
+
+    return run
+
+
+register_trace_op("add", _forward_add, _vjp_add)
+register_trace_op("sub", _forward_sub, _vjp_sub)
+register_trace_op("mul", _forward_mul, _vjp_mul)
+register_trace_op("neg", _forward_neg, _vjp_neg)
+register_trace_op("matmul", _forward_matmul, _vjp_matmul)
+register_trace_op("sum", _forward_sum, _vjp_sum)
+register_trace_op("mean", _forward_mean, _vjp_mean)
+register_trace_op("reshape", _forward_reshape, _vjp_reshape)
+register_trace_op("transpose", _forward_transpose, _vjp_transpose)
+register_trace_op("getitem", _forward_getitem, _vjp_getitem)
+register_trace_op("relu", _forward_relu, _vjp_relu)
+register_trace_op("leaky_relu", _forward_leaky_relu, _vjp_leaky_relu)
+register_trace_op("tanh", _forward_tanh, _vjp_tanh)
+register_trace_op("sigmoid", _forward_sigmoid, _vjp_sigmoid)
+register_trace_op("exp", _forward_exp, _vjp_exp)
+register_trace_op("log", _forward_log, _vjp_log)
+register_trace_op("conv2d", _forward_conv2d, _vjp_conv2d)
+register_trace_op("cross_entropy", _forward_cross_entropy, _vjp_cross_entropy)
+register_trace_op("concat_time", _forward_concat_time, _vjp_concat_time)
