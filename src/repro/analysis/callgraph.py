@@ -1,0 +1,212 @@
+"""Project-wide symbol table and call graph for whole-program lint rules.
+
+Built from the per-file :class:`~repro.analysis.engine.FileContext`
+indexes the per-file rules already pay for — no second AST walk of the
+tree is needed:
+
+* :class:`ProjectIndex` registers every module-level function and every
+  method of a module-level class under its dotted qualname
+  (``repro.fl.executor.run_client_task``,
+  ``repro.fl.executor.SharedArrayStore.close``) and records re-export
+  aliases (``from .engine import lint_paths`` in a package ``__init__``)
+  so imported names chase through to their defining module;
+* :class:`CallGraph` resolves every call expression in every linted file
+  against that index — import-resolved dotted names, bare local names,
+  ``self.method()`` / ``cls.method()`` within a class — into caller ->
+  callee edges plus a per-call-node callee map the interprocedural rules
+  and summaries consume.
+
+Resolution is deliberately partial: method calls on arbitrary objects
+(``task.resolve_arrays()``) and dynamic dispatch stay unresolved, and the
+rules built on top treat an unresolved callee as "no information", never
+as an error.  ``repro lint --callgraph-json`` serialises the graph via
+:meth:`CallGraph.to_dict`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from .engine import FileContext
+
+__all__ = ["CallGraph", "CallSite", "FunctionInfo", "ProjectIndex"]
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+@dataclass(frozen=True, eq=False)
+class FunctionInfo:
+    """One indexed function: where it lives and what it is called."""
+
+    qualname: str
+    module: str
+    ctx: FileContext
+    node: FunctionNode
+    params: Tuple[str, ...]
+    is_method: bool
+
+
+class ProjectIndex:
+    """Dotted-qualname symbol table over every parsed file.
+
+    ``functions`` maps qualnames to :class:`FunctionInfo`; ``exports``
+    maps re-exported names (``pkg.name`` bound by ``from .mod import
+    name``) to their targets, chased transitively by :meth:`resolve`.
+    """
+
+    def __init__(self, contexts: Sequence[FileContext]) -> None:
+        self.contexts: List[FileContext] = list(contexts)
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.exports: Dict[str, str] = {}
+        for ctx in self.contexts:
+            self._register(ctx)
+
+    def _register(self, ctx: FileContext) -> None:
+        module = ctx.module
+        if module is None:
+            return
+        for alias, target in ctx.aliases.items():
+            if target != alias and "." in target:
+                self.exports.setdefault(f"{module}.{alias}", target)
+        for node in ctx.nodes(ast.FunctionDef, ast.AsyncFunctionDef):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # pragma: no cover - nodes() returns what we asked
+            if ctx.enclosing_function(node) is not None:
+                continue  # nested function: not addressable by name
+            cls = ctx.enclosing_class(node)
+            if cls is not None and ctx.enclosing_class(cls) is not None:
+                continue  # method of a nested class: skip
+            name = f"{cls.name}.{node.name}" if cls is not None else node.name
+            args = node.args
+            params = tuple(
+                arg.arg for arg in (*args.posonlyargs, *args.args)
+            )
+            self.functions.setdefault(
+                f"{module}.{name}",
+                FunctionInfo(
+                    qualname=f"{module}.{name}",
+                    module=module,
+                    ctx=ctx,
+                    node=node,
+                    params=params,
+                    is_method=cls is not None,
+                ),
+            )
+
+    def resolve(self, qualname: str) -> Optional[FunctionInfo]:
+        """The function a dotted name denotes, chasing re-export aliases."""
+        seen: Set[str] = set()
+        current = qualname
+        while current not in self.functions:
+            if current in seen:
+                return None
+            seen.add(current)
+            target = self.exports.get(current)
+            if target is None:
+                return None
+            current = target
+        return self.functions[current]
+
+
+@dataclass(frozen=True, eq=False)
+class CallSite:
+    """One resolved call: caller qualname (``None`` at module level), callee."""
+
+    caller: Optional[str]
+    callee: str
+    call: ast.Call
+    ctx: FileContext
+
+
+class CallGraph:
+    """Caller -> callee edges plus a per-call-node resolution map."""
+
+    def __init__(self, index: ProjectIndex) -> None:
+        self.index = index
+        self.sites: List[CallSite] = []
+        self._callees: Dict[ast.Call, FunctionInfo] = {}
+        edge_sets: Dict[str, Set[str]] = {}
+        for ctx in index.contexts:
+            for node in ctx.nodes(ast.Call):
+                if not isinstance(node, ast.Call):
+                    continue  # pragma: no cover - nodes() returns Call only
+                info = self._resolve_call(ctx, node)
+                if info is None:
+                    continue
+                caller = self._enclosing_qualname(ctx, node)
+                self._callees[node] = info
+                self.sites.append(CallSite(caller, info.qualname, node, ctx))
+                if caller is not None:
+                    edge_sets.setdefault(caller, set()).add(info.qualname)
+        self.edges: Dict[str, Tuple[str, ...]] = {
+            caller: tuple(sorted(callees))
+            for caller, callees in sorted(edge_sets.items())
+        }
+
+    # -- resolution ----------------------------------------------------
+    def callee(self, call: ast.Call) -> Optional[FunctionInfo]:
+        """The indexed function this call resolves to, if any."""
+        return self._callees.get(call)
+
+    def _resolve_call(self, ctx: FileContext, call: ast.Call) -> Optional[FunctionInfo]:
+        func = call.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in ("self", "cls")
+            and ctx.module is not None
+        ):
+            cls = ctx.enclosing_class(call)
+            if cls is not None:
+                info = self.index.resolve(f"{ctx.module}.{cls.name}.{func.attr}")
+                if info is not None:
+                    return info
+        qualname = ctx.qualname(func)
+        if qualname is None:
+            return None
+        info = self.index.resolve(qualname)
+        if info is None and ctx.module is not None:
+            # Bare local names and ClassName.method references resolve
+            # against the calling module.
+            info = self.index.resolve(f"{ctx.module}.{qualname}")
+        return info
+
+    def _enclosing_qualname(self, ctx: FileContext, node: ast.AST) -> Optional[str]:
+        """Qualname of the nearest *indexed* function enclosing ``node``."""
+        current: Optional[ast.AST] = ctx.enclosing_function(node)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = self._qualname_of_def(ctx, current)
+                if qualname is not None and qualname in self.index.functions:
+                    return qualname
+            current = ctx.enclosing_function(current)
+        return None
+
+    def _qualname_of_def(self, ctx: FileContext, node: FunctionNode) -> Optional[str]:
+        if ctx.module is None:
+            return None
+        cls = ctx.enclosing_class(node)
+        if cls is not None:
+            return f"{ctx.module}.{cls.name}.{node.name}"
+        return f"{ctx.module}.{node.name}"
+
+    # -- serialisation -------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form: every indexed function and its resolved edges."""
+        functions: Dict[str, Dict[str, object]] = {}
+        for qualname in sorted(self.index.functions):
+            info = self.index.functions[qualname]
+            functions[qualname] = {
+                "module": info.module,
+                "file": info.ctx.display_path,
+                "line": info.node.lineno,
+                "params": list(info.params),
+                "is_method": info.is_method,
+            }
+        return {
+            "version": 1,
+            "functions": functions,
+            "edges": {caller: list(callees) for caller, callees in self.edges.items()},
+        }

@@ -12,9 +12,16 @@ cross-backend mismatch.  This engine checks those contracts statically:
   ``repro.analysis.rules_*``) inspect one parsed file at a time through a
   :class:`FileContext` that pre-indexes AST nodes by type, links parents,
   and resolves import aliases to canonical dotted names;
+* :class:`ProgramRule` subclasses (``repro.analysis.rules_wholeprogram``)
+  see every file at once through a :class:`ProgramContext` — the project
+  symbol table, call graph (:mod:`repro.analysis.callgraph`) and
+  fixpoint-propagated per-function summaries
+  (:mod:`repro.analysis.summaries`) — enabled by
+  ``lint_paths(..., whole_program=True)`` / ``repro lint --whole-program``;
 * diagnostics render as ``file:line:col RULE-ID message``;
 * ``# repro: allow[RULE-ID] <justification>`` pragmas suppress a finding on
-  the same line (or from a comment-only line immediately above);
+  the same line (or from a comment-only line immediately above, reaching
+  through any decorator list onto the decorated ``def``);
 * a JSON :class:`Baseline` grandfathers known findings so the linter can be
   adopted on a tree that is not yet clean without losing its gate on *new*
   violations.
@@ -31,6 +38,7 @@ import re
 from dataclasses import dataclass
 from pathlib import Path
 from typing import (
+    TYPE_CHECKING,
     Dict,
     Iterable,
     Iterator,
@@ -43,13 +51,20 @@ from typing import (
     Union,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from .callgraph import CallGraph, ProjectIndex
+    from .summaries import FunctionSummary
+
 __all__ = [
     "Baseline",
     "Diagnostic",
     "FileContext",
     "LintReport",
+    "ProgramContext",
+    "ProgramRule",
     "Rule",
     "SCIENCE_PACKAGES",
+    "default_program_rules",
     "default_rules",
     "iter_python_files",
     "lint_paths",
@@ -71,6 +86,23 @@ SCIENCE_PACKAGES = (
 )
 
 _PRAGMA_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_*\s,-]+)\]")
+
+#: Rules whose findings a pragma naming the superseded per-file rule also
+#: suppresses: DT101 re-checks DT001's sites interprocedurally, so an
+#: existing ``# repro: allow[DT001]`` justification keeps covering the same
+#: accumulation in whole-program mode without rewriting every pragma.
+_SUPPRESSION_ALIASES: Dict[str, Tuple[str, ...]] = {"DT101": ("DT001",)}
+
+#: Per-file rules replaced by an interprocedural family in whole-program
+#: mode (DT101's tracer sees through helper calls, so it strictly refines
+#: DT001; running both would double-report every finding).
+SUPERSEDED_IN_WHOLE_PROGRAM = frozenset({"DT001"})
+
+
+def _bracket_delta(text: str) -> int:
+    """Net open-bracket count of a source line (comment tail stripped)."""
+    code = text.split("#", 1)[0]
+    return sum(code.count(ch) for ch in "([{") - sum(code.count(ch) for ch in ")]}")
 
 
 @dataclass(frozen=True)
@@ -146,6 +178,7 @@ class FileContext:
         self.source = source
         self.lines = source.splitlines()
         self.module = module_name_for(path)
+        self.is_package = path.name == "__init__.py"
         self.tree = ast.parse(source, filename=str(path))
         self._index: Dict[Type[ast.AST], List[ast.AST]] = {}
         self._parents: Dict[ast.AST, ast.AST] = {}
@@ -219,13 +252,19 @@ class FileContext:
         module = getattr(node, "module", None)
         level = getattr(node, "level", 0)
         if not level:
-            return module
+            return module if module is None else str(module)
         if self.module is None:
-            return module  # relative import in an unmapped file: best effort
-        base_parts = self.module.split(".")[:-level]
+            # Relative import in an unmapped file: best effort.
+            return module if module is None else str(module)
+        parts = self.module.split(".")
+        # In a package ``__init__`` the module name *is* the package, so a
+        # level-1 import resolves against the module itself; in a plain
+        # module it resolves against the containing package.
+        keep = len(parts) - level + (1 if self.is_package else 0)
+        base_parts = parts[: max(keep, 0)]
         if module:
-            base_parts.append(module)
-        return ".".join(base_parts) if base_parts else module
+            base_parts.append(str(module))
+        return ".".join(base_parts) if base_parts else (None if module is None else str(module))
 
     def qualname(self, node: ast.AST) -> Optional[str]:
         """Dotted name of a ``Name``/``Attribute`` chain, import-resolved.
@@ -254,7 +293,11 @@ class FileContext:
             ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
             allow.setdefault(number, set()).update(ids)
             # A comment-only pragma line covers the comment block it starts
-            # and the first code line below it.
+            # and the first code line below it; when that code line opens a
+            # decorator list, coverage extends through every decorator
+            # (including multi-line decorator calls) onto the decorated
+            # ``def`` line itself, which is where def-anchored findings and
+            # default-argument expressions live.
             if text.lstrip().startswith("#"):
                 follower = number + 1
                 while (
@@ -263,12 +306,24 @@ class FileContext:
                 ):
                     allow.setdefault(follower, set()).update(ids)
                     follower += 1
+                depth = 0
+                while follower <= len(self.lines):
+                    line = self.lines[follower - 1]
+                    if depth <= 0 and not line.lstrip().startswith("@"):
+                        break
+                    allow.setdefault(follower, set()).update(ids)
+                    depth += _bracket_delta(line)
+                    follower += 1
                 allow.setdefault(follower, set()).update(ids)
         return allow
 
     def is_suppressed(self, diagnostic: Diagnostic) -> bool:
         ids = self._allow.get(diagnostic.line)
-        return bool(ids) and (diagnostic.rule_id in ids or "*" in ids)
+        if not ids:
+            return False
+        accepted = {diagnostic.rule_id, "*"}
+        accepted.update(_SUPPRESSION_ALIASES.get(diagnostic.rule_id, ()))
+        return bool(ids & accepted)
 
     # -- construction helpers ------------------------------------------
     def diagnostic(self, node: ast.AST, rule_id: str, message: str) -> Diagnostic:
@@ -295,6 +350,62 @@ class Rule:
 
     def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
         raise NotImplementedError
+
+
+class ProgramRule:
+    """Base class of one whole-program (interprocedural) lint rule.
+
+    Unlike :class:`Rule`, a program rule sees every linted file at once
+    through a :class:`ProgramContext` and may anchor findings in any of
+    them; ``# repro: allow[ID]`` pragmas in the owning file still apply
+    (the whole-program runner routes each diagnostic back through its
+    :class:`FileContext` for suppression).
+    """
+
+    rule_id: str = ""
+    contract: str = ""
+
+    def check_program(self, program: "ProgramContext") -> Iterable[Diagnostic]:
+        raise NotImplementedError
+
+
+class ProgramContext:
+    """Everything the whole-program rules need: all files, graph, summaries.
+
+    Built once per ``lint_paths(..., whole_program=True)`` run from the
+    already-parsed :class:`FileContext` objects: the project symbol table
+    and call graph come from :mod:`repro.analysis.callgraph`, the
+    fixpoint-propagated per-function facts from
+    :mod:`repro.analysis.summaries`.
+    """
+
+    def __init__(
+        self,
+        contexts: Sequence[FileContext],
+        index: "ProjectIndex",
+        graph: "CallGraph",
+        summaries: Dict[str, "FunctionSummary"],
+    ) -> None:
+        self.contexts: List[FileContext] = list(contexts)
+        self.index = index
+        self.graph = graph
+        self.summaries = summaries
+        self._by_display: Dict[str, FileContext] = {
+            ctx.display_path: ctx for ctx in self.contexts
+        }
+
+    @classmethod
+    def build(cls, contexts: Sequence[FileContext]) -> "ProgramContext":
+        from .callgraph import CallGraph, ProjectIndex
+        from .summaries import summarize_program
+
+        index = ProjectIndex(contexts)
+        graph = CallGraph(index)
+        summaries = summarize_program(index, graph)
+        return cls(contexts, index, graph, summaries)
+
+    def context_for(self, display_path: str) -> Optional[FileContext]:
+        return self._by_display.get(display_path)
 
 
 class Baseline:
@@ -408,6 +519,17 @@ def default_rules() -> List[Rule]:
     return rules
 
 
+def default_program_rules() -> List[ProgramRule]:
+    """Instantiate every shipped whole-program rule, in stable id order."""
+    from . import rules_wholeprogram
+
+    rules: List[ProgramRule] = [
+        rule_cls() for rule_cls in rules_wholeprogram.PROGRAM_RULES
+    ]
+    rules.sort(key=lambda rule: rule.rule_id)
+    return rules
+
+
 def iter_python_files(paths: Sequence[PathLike]) -> Iterator[Path]:
     """Yield ``.py`` files under ``paths`` in sorted, deterministic order."""
     for raw in paths:
@@ -420,24 +542,30 @@ def iter_python_files(paths: Sequence[PathLike]) -> Iterator[Path]:
             yield path
 
 
-def lint_file(
-    path: Path, rules: Sequence[Rule], display_path: Optional[str] = None
-) -> Tuple[List[Diagnostic], int]:
-    """Lint one file; returns (unsuppressed diagnostics, pragma count)."""
+def load_context(
+    path: Path, display_path: Optional[str] = None
+) -> Tuple[Optional[FileContext], Optional[Diagnostic]]:
+    """Parse one file into a :class:`FileContext`, or an ENG00x diagnostic."""
     display = display_path if display_path is not None else path.as_posix()
     try:
         source = path.read_text(encoding="utf-8")
     except (OSError, UnicodeDecodeError) as error:
-        return [Diagnostic(display, 1, 1, "ENG001", f"unreadable file: {error}")], 0
+        return None, Diagnostic(display, 1, 1, "ENG001", f"unreadable file: {error}")
     try:
-        ctx = FileContext(path, display, source)
+        return FileContext(path, display, source), None
     except SyntaxError as error:
-        return [
-            Diagnostic(
-                display, error.lineno or 1, (error.offset or 1), "ENG002",
-                f"syntax error: {error.msg}",
-            )
-        ], 0
+        return None, Diagnostic(
+            display,
+            error.lineno or 1,
+            error.offset or 1,
+            "ENG002",
+            f"syntax error: {error.msg}",
+        )
+
+
+def _check_context(
+    ctx: FileContext, rules: Sequence[Rule]
+) -> Tuple[List[Diagnostic], int]:
     findings: List[Diagnostic] = []
     for rule in rules:
         findings.extend(rule.check(ctx))
@@ -446,21 +574,69 @@ def lint_file(
     return kept, len(findings) - len(kept)
 
 
+def lint_file(
+    path: Path, rules: Sequence[Rule], display_path: Optional[str] = None
+) -> Tuple[List[Diagnostic], int]:
+    """Lint one file; returns (unsuppressed diagnostics, pragma count)."""
+    ctx, error = load_context(path, display_path)
+    if ctx is None:
+        return [error] if error is not None else [], 0
+    return _check_context(ctx, rules)
+
+
 def lint_paths(
     paths: Sequence[PathLike],
     rules: Optional[Sequence[Rule]] = None,
     baseline: Optional[Baseline] = None,
+    whole_program: bool = False,
+    program_rules: Optional[Sequence[ProgramRule]] = None,
+    program_out: Optional[List[ProgramContext]] = None,
 ) -> LintReport:
-    """Lint every python file under ``paths`` and aggregate the findings."""
+    """Lint every python file under ``paths`` and aggregate the findings.
+
+    With ``whole_program=True`` the parsed contexts are additionally fed
+    through the project call graph + summaries and the interprocedural
+    rule families (``default_program_rules``); per-file rules superseded by
+    an interprocedural refinement (``SUPERSEDED_IN_WHOLE_PROGRAM``) are
+    dropped so the same site is not reported twice.  ``program_out``, when
+    given, receives the built :class:`ProgramContext` (the CLI uses this
+    for ``--callgraph-json``).
+    """
     active = list(rules) if rules is not None else default_rules()
+    if whole_program:
+        active = [r for r in active if r.rule_id not in SUPERSEDED_IN_WHOLE_PROGRAM]
     diagnostics: List[Diagnostic] = []
+    contexts: List[FileContext] = []
     suppressed_pragma = 0
     files = 0
     for path in iter_python_files(paths):
         files += 1
-        found, pragma_count = lint_file(path, active)
+        ctx, error = load_context(path)
+        if ctx is None:
+            if error is not None:
+                diagnostics.append(error)
+            continue
+        found, pragma_count = _check_context(ctx, active)
         diagnostics.extend(found)
         suppressed_pragma += pragma_count
+        contexts.append(ctx)
+    if whole_program:
+        program = ProgramContext.build(contexts)
+        if program_out is not None:
+            program_out.append(program)
+        prules = (
+            list(program_rules)
+            if program_rules is not None
+            else default_program_rules()
+        )
+        for prule in prules:
+            for diagnostic in prule.check_program(program):
+                owner = program.context_for(diagnostic.path)
+                if owner is not None and owner.is_suppressed(diagnostic):
+                    suppressed_pragma += 1
+                else:
+                    diagnostics.append(diagnostic)
+        diagnostics.sort(key=lambda d: (d.path, d.line, d.col, d.rule_id))
     suppressed_baseline = 0
     if baseline is not None:
         diagnostics, suppressed_baseline = baseline.filter(diagnostics)

@@ -214,13 +214,17 @@ class DtypeGeometryRule(Rule):
         module = ctx.module or ""
         return module.rsplit(".", 1)[-1] == "distances"
 
+    def _make_tracer(self, ctx: FileContext) -> _Float64Tracer:
+        """Tracer factory — DT101 swaps in an interprocedural tracer."""
+        return _Float64Tracer(ctx)
+
     def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
         if not self._applies(ctx):
             return []
         findings: List[Diagnostic] = []
         check_sums = self._check_sums(ctx)
         for scope in _function_scopes(ctx):
-            tracer = _Float64Tracer(ctx)
+            tracer = self._make_tracer(ctx)
             body = scope.body if hasattr(scope, "body") else []
             tracer.process([s for s in body if isinstance(s, ast.stmt)])
             for node in ctx.nodes(ast.Call):

@@ -1,0 +1,696 @@
+"""Per-function summaries and fixpoint interprocedural propagation.
+
+Each indexed function (see :mod:`repro.analysis.callgraph`) gets one
+:class:`FunctionSummary` capturing the facts the whole-program rules
+need:
+
+* ``rng_source`` / ``rng_tainted`` — does the function create (or reach,
+  through any resolved call chain) an *unseeded*
+  ``np.random.default_rng()`` stream?  The two sanctioned idioms are
+  exempt: the state-restore pair (``rng = np.random.default_rng()``
+  immediately re-seeded via ``rng.bit_generator.state = ...``) and the
+  caller-decides fallback (``rng = rng or np.random.default_rng()``).
+* ``returns_dtype`` — ``"float64"`` when every return value traces to a
+  float64 construction (the DT001 tracer, extended through resolved
+  calls), ``"float32"`` for the symmetric float32 case, else ``None``.
+* ``mutated_params`` / ``mutates_params`` — parameter indices written in
+  place (subscript/attribute stores, in-place methods, ``np.copyto``-
+  style first-argument mutators), directly or transitively by passing a
+  parameter to a callee that mutates it.
+* ``returns_view`` — does the function return an array view resolved
+  from the shared-memory data plane (``resolve_shared_array`` /
+  ``attach_array_store`` / broker ``resolve*`` calls, or a callee that
+  does)?
+
+``summarize_program`` runs the local extraction once, then iterates a
+worklist-free whole-program sweep until no summary changes (the lattice
+is finite and monotone, so the loop terminates; a generous iteration
+guard bounds pathological inputs).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
+
+from .callgraph import CallGraph, FunctionInfo, ProjectIndex
+from .engine import FileContext
+from .rules_dtype import (
+    _CREATOR_FNS,
+    _PRESERVING_FNS,
+    _Float64Tracer,
+)
+
+__all__ = [
+    "FunctionSummary",
+    "InterprocFloat64Tracer",
+    "MutationSite",
+    "VIEW_PRODUCER_FUNCTIONS",
+    "VIEW_PRODUCER_METHODS",
+    "function_scopes",
+    "mutated_argument_exprs",
+    "own_statement",
+    "scope_mutations",
+    "shared_view_names",
+    "summarize_program",
+    "unseeded_rng_calls",
+]
+
+ScopeNode = Union[ast.Module, ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Free functions whose results are read-only shared-memory views.
+VIEW_PRODUCER_FUNCTIONS = frozenset(
+    {"resolve_shared_array", "attach_array_store", "resolve_task"}
+)
+
+#: Method names whose results are read-only shared-memory views
+#: (``ShardRef.resolve``, ``ClientTask.resolve_arrays`` /
+#: ``resolve_global_params``).
+VIEW_PRODUCER_METHODS = frozenset(
+    {"resolve", "resolve_arrays", "resolve_global_params"}
+)
+
+#: ndarray methods that write through the receiver.
+_MUTATING_METHODS = frozenset(
+    {"fill", "sort", "partition", "put", "itemset", "resize", "byteswap"}
+)
+
+#: numpy functions that write through their first argument.
+_MUTATOR_FIRST_ARG = frozenset(
+    {"numpy.copyto", "numpy.put", "numpy.place", "numpy.putmask", "numpy.fill_diagonal"}
+)
+
+#: Kind tag of ``name += ...`` on a bare name: in-place for arrays, a
+#: rebind for scalars.  Parameter-mutation summaries include it (a kernel
+#: doing ``block -= block.mean()`` writes through the shm view), relying
+#: on the rules' view/kernel scoping to keep scalar accumulators quiet.
+BARE_NAME_AUGASSIGN = "augmented assignment"
+
+
+# ----------------------------------------------------------------------
+# Shared structural helpers
+# ----------------------------------------------------------------------
+def function_scopes(ctx: FileContext) -> Iterator[ast.AST]:
+    """The module scope plus every function scope of a file."""
+    yield ctx.tree
+    yield from ctx.nodes(ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def own_statement(ctx: FileContext, scope: ast.AST, node: ast.AST) -> bool:
+    """Whether ``node``'s nearest enclosing function scope is ``scope``."""
+    enclosing = ctx.enclosing_function(node)
+    if isinstance(scope, ast.Module):
+        return enclosing is None
+    return enclosing is scope
+
+
+def _attr_chain_root(node: ast.AST) -> Tuple[Optional[str], Tuple[str, ...]]:
+    """Root ``Name`` id of a Subscript/Attribute chain plus the attrs seen."""
+    attrs: List[str] = []
+    current = node
+    while True:
+        if isinstance(current, ast.Attribute):
+            attrs.append(current.attr)
+            current = current.value
+        elif isinstance(current, ast.Subscript):
+            current = current.value
+        else:
+            break
+    if isinstance(current, ast.Name):
+        return current.id, tuple(attrs)
+    return None, tuple(attrs)
+
+
+# ----------------------------------------------------------------------
+# In-place mutation detection
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, eq=False)
+class MutationSite:
+    """One in-place write: the root name written through and its anchor."""
+
+    name: str
+    node: ast.AST
+    kind: str
+
+
+def _target_mutations(
+    target: ast.AST, anchor: ast.AST, kind: str
+) -> Iterator[MutationSite]:
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _target_mutations(elt, anchor, kind)
+        return
+    if isinstance(target, ast.Subscript):
+        name, attrs = _attr_chain_root(target)
+        if name is not None and "flags" not in attrs:
+            yield MutationSite(name, anchor, f"{kind} subscript write".strip())
+    elif isinstance(target, ast.Attribute):
+        name, attrs = _attr_chain_root(target)
+        # ``.flags.writeable = False`` is sealing, not a data write, and
+        # ``self.x = ...`` is object state, not an array mutation.
+        if name is not None and "flags" not in attrs and name not in ("self", "cls"):
+            yield MutationSite(name, anchor, f"{kind} attribute write".strip())
+
+
+def _call_mutations(ctx: FileContext, call: ast.Call) -> Iterator[MutationSite]:
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        qualname = ctx.qualname(func) or ""
+        if func.attr in _MUTATING_METHODS and not qualname.startswith("numpy."):
+            name, attrs = _attr_chain_root(func.value)
+            if name is not None and "flags" not in attrs:
+                yield MutationSite(name, call, f".{func.attr}() in-place method call")
+        elif func.attr == "setflags" and any(
+            kw.arg == "write"
+            and isinstance(kw.value, ast.Constant)
+            and bool(kw.value.value)
+            for kw in call.keywords
+        ):
+            name, _ = _attr_chain_root(func.value)
+            if name is not None:
+                yield MutationSite(name, call, "setflags(write=True) unseal")
+    qualname = ctx.qualname(func)
+    if qualname in _MUTATOR_FIRST_ARG and call.args:
+        name, attrs = _attr_chain_root(call.args[0])
+        if name is not None and "flags" not in attrs:
+            yield MutationSite(name, call, f"'{qualname}' first-argument write")
+    if qualname is not None and qualname.startswith("numpy."):
+        for kw in call.keywords:
+            if kw.arg == "out":
+                name, attrs = _attr_chain_root(kw.value)
+                if name is not None:
+                    yield MutationSite(name, call, "out= argument write")
+
+
+def scope_mutations(ctx: FileContext, scope: ast.AST) -> List[MutationSite]:
+    """Every in-place write whose statements belong directly to ``scope``."""
+    sites: List[MutationSite] = []
+    for node in ctx.nodes(ast.Assign):
+        if isinstance(node, ast.Assign) and own_statement(ctx, scope, node):
+            for target in node.targets:
+                sites.extend(_target_mutations(target, node, ""))
+    for node in ctx.nodes(ast.AugAssign):
+        if isinstance(node, ast.AugAssign) and own_statement(ctx, scope, node):
+            if isinstance(node.target, ast.Name):
+                sites.append(
+                    MutationSite(node.target.id, node, BARE_NAME_AUGASSIGN)
+                )
+            else:
+                sites.extend(
+                    _target_mutations(node.target, node, "augmented")
+                )
+    for node in ctx.nodes(ast.Call):
+        if isinstance(node, ast.Call) and own_statement(ctx, scope, node):
+            sites.extend(_call_mutations(ctx, node))
+    sites.sort(
+        key=lambda site: (
+            getattr(site.node, "lineno", 0),
+            getattr(site.node, "col_offset", 0),
+        )
+    )
+    return sites
+
+
+# ----------------------------------------------------------------------
+# Shared-view name tracking
+# ----------------------------------------------------------------------
+SummaryLookup = Callable[[ast.Call], Optional["FunctionSummary"]]
+
+
+def _is_view_call(
+    ctx: FileContext, call: ast.Call, lookup: Optional[SummaryLookup]
+) -> bool:
+    func = call.func
+    name: Optional[str] = None
+    if isinstance(func, ast.Name):
+        name = func.id
+    elif isinstance(func, ast.Attribute):
+        name = func.attr
+    if name in VIEW_PRODUCER_FUNCTIONS or name in VIEW_PRODUCER_METHODS:
+        return True
+    if lookup is not None:
+        summary = lookup(call)
+        if summary is not None and summary.returns_view:
+            return True
+    return False
+
+
+class _ViewTracker:
+    """Names bound to shared-memory views, statement order (cf. DT001's
+    ``_Float64Tracer``: nested bodies inline, no branch merging — an
+    intentionally simple over-approximation)."""
+
+    def __init__(
+        self,
+        ctx: FileContext,
+        lookup: Optional[SummaryLookup] = None,
+        seed: Iterable[str] = (),
+    ) -> None:
+        self.ctx = ctx
+        self.lookup = lookup
+        self.names: Set[str] = set(seed)
+
+    def process(self, body: Iterable[ast.stmt]) -> None:
+        for stmt in body:
+            self._statement(stmt)
+
+    def _statement(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            is_view = self.is_view(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, stmt.value, is_view)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._bind(stmt.target, stmt.value, self.is_view(stmt.value))
+        elif isinstance(stmt, ast.For):
+            # Iterating a view container (``for arr in arrays.values():``)
+            # yields views; any other loop rebinds its targets.
+            self._bind(stmt.target, stmt.iter, self._iterates_views(stmt.iter))
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested scopes are tracked separately
+        for attr in ("body", "orelse", "finalbody"):
+            nested = getattr(stmt, attr, None)
+            if isinstance(nested, list) and not isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                self.process(nested)
+        for handler in getattr(stmt, "handlers", []) or []:
+            self.process(handler.body)
+
+    def _bind(self, target: ast.AST, value: ast.AST, is_view: bool) -> None:
+        if isinstance(target, ast.Name):
+            if is_view:
+                self.names.add(target.id)
+            else:
+                self.names.discard(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            if isinstance(value, (ast.Tuple, ast.List)) and len(value.elts) == len(
+                target.elts
+            ):
+                for sub_target, sub_value in zip(target.elts, value.elts):
+                    self._bind(sub_target, sub_value, self.is_view(sub_value))
+            else:
+                for sub_target in target.elts:
+                    self._bind(sub_target, value, is_view)
+
+    def _iterates_views(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in self.names
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in ("values", "items"):
+                name, _ = _attr_chain_root(node.func.value)
+                return name is not None and name in self.names
+        return False
+
+    def is_view(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in self.names
+        if isinstance(node, ast.Subscript):
+            return self.is_view(node.value)  # slices alias the same buffer
+        if isinstance(node, ast.Attribute):
+            # ``images = task.train.images`` stays a view of the segment.
+            return self.is_view(node.value)
+        if isinstance(node, (ast.Tuple, ast.List)):
+            return any(self.is_view(elt) for elt in node.elts)
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "seal" and node.args:
+                # ``repro.utils.sanitize.seal`` returns its argument —
+                # sealing a view does not stop it aliasing the segment.
+                return self.is_view(node.args[0])
+            return _is_view_call(self.ctx, node, self.lookup)
+        return False
+
+
+def shared_view_names(
+    ctx: FileContext,
+    scope: ast.AST,
+    lookup: Optional[SummaryLookup] = None,
+    seed: Iterable[str] = (),
+) -> Set[str]:
+    """Names bound to shared-memory views within ``scope``'s own body."""
+    tracker = _ViewTracker(ctx, lookup, seed)
+    body = getattr(scope, "body", None)
+    if isinstance(body, list):
+        tracker.process([stmt for stmt in body if isinstance(stmt, ast.stmt)])
+    return tracker.names
+
+
+# ----------------------------------------------------------------------
+# Unseeded-RNG source detection
+# ----------------------------------------------------------------------
+def unseeded_rng_calls(ctx: FileContext, scope: ast.AST) -> List[ast.Call]:
+    """Non-exempt unseeded ``np.random.default_rng()`` calls in ``scope``."""
+    found: List[ast.Call] = []
+    for node in ctx.nodes(ast.Call):
+        if not isinstance(node, ast.Call):
+            continue
+        if not own_statement(ctx, scope, node):
+            continue
+        if ctx.qualname(node.func) != "numpy.random.default_rng":
+            continue
+        if node.args or node.keywords:
+            continue  # seeded
+        parent = ctx.parent(node)
+        if isinstance(parent, ast.BoolOp) and isinstance(parent.op, ast.Or):
+            continue  # ``rng or default_rng()``: the caller decides seeding
+        if _state_restored(ctx, scope, node):
+            continue
+        found.append(node)
+    return found
+
+
+def _state_restored(ctx: FileContext, scope: ast.AST, call: ast.Call) -> bool:
+    """Whether the call's target is re-seeded via ``.bit_generator.state =``."""
+    parent = ctx.parent(call)
+    if not isinstance(parent, ast.Assign) or len(parent.targets) != 1:
+        return False
+    target_src = ast.unparse(parent.targets[0])
+    for node in ctx.nodes(ast.Assign):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not own_statement(ctx, scope, node):
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and target.attr == "state"
+                and isinstance(target.value, ast.Attribute)
+                and target.value.attr == "bit_generator"
+                and ast.unparse(target.value.value) == target_src
+            ):
+                return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# Dtype tracing through calls
+# ----------------------------------------------------------------------
+class InterprocFloat64Tracer(_Float64Tracer):
+    """DT001's float64 tracer, extended through resolved call results."""
+
+    def __init__(self, ctx: FileContext, lookup: Optional[SummaryLookup]) -> None:
+        super().__init__(ctx)
+        self._lookup = lookup
+
+    def is_float64(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Call) and self._lookup is not None:
+            summary = self._lookup(node)
+            if summary is not None and summary.returns_float64:
+                return True
+        return super().is_float64(node)
+
+
+_F32_CONSTS = frozenset({"float32", "f4", "<f4"})
+
+
+def _is_float32_dtype_expr(ctx: FileContext, node: ast.AST) -> bool:
+    if ctx.qualname(node) in {"numpy.float32", "numpy.single"}:
+        return True
+    return isinstance(node, ast.Constant) and node.value in _F32_CONSTS
+
+
+def _float32_dtype_kwarg(ctx: FileContext, call: ast.Call) -> bool:
+    for keyword in call.keywords:
+        if keyword.arg == "dtype" and _is_float32_dtype_expr(ctx, keyword.value):
+            return True
+    return False
+
+
+class _Float32Tracer:
+    """Minimal float32 mirror of the DT001 tracer (same traversal shape)."""
+
+    def __init__(self, ctx: FileContext, lookup: Optional[SummaryLookup]) -> None:
+        self.ctx = ctx
+        self._lookup = lookup
+        self.names: Set[str] = set()
+
+    def process(self, body: Iterable[ast.stmt]) -> None:
+        for stmt in body:
+            self._statement(stmt)
+
+    def _statement(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            value_is_f32 = self.is_float32(stmt.value)
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    if value_is_f32:
+                        self.names.add(target.id)
+                    else:
+                        self.names.discard(target.id)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            if isinstance(stmt.target, ast.Name):
+                if self.is_float32(stmt.value):
+                    self.names.add(stmt.target.id)
+                else:
+                    self.names.discard(stmt.target.id)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return
+        for attr in ("body", "orelse", "finalbody"):
+            nested = getattr(stmt, attr, None)
+            if isinstance(nested, list) and not isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                self.process(nested)
+        for handler in getattr(stmt, "handlers", []) or []:
+            self.process(handler.body)
+
+    def is_float32(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in self.names
+        if isinstance(node, ast.Subscript):
+            return self.is_float32(node.value)
+        if isinstance(node, ast.Attribute) and node.attr == "T":
+            return self.is_float32(node.value)
+        if isinstance(node, ast.UnaryOp):
+            return self.is_float32(node.operand)
+        if isinstance(node, ast.Call):
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "astype"
+                and node.args
+                and _is_float32_dtype_expr(self.ctx, node.args[0])
+            ):
+                return True
+            qualname = self.ctx.qualname(node.func)
+            if qualname in _CREATOR_FNS:
+                return _float32_dtype_kwarg(self.ctx, node)
+            if qualname in _PRESERVING_FNS:
+                return any(self.is_float32(arg) for arg in node.args)
+            if self._lookup is not None:
+                summary = self._lookup(node)
+                if summary is not None and summary.returns_float32:
+                    return True
+        return False
+
+
+# ----------------------------------------------------------------------
+# Summaries + fixpoint
+# ----------------------------------------------------------------------
+@dataclass
+class FunctionSummary:
+    """Whole-program facts about one indexed function."""
+
+    qualname: str
+    rng_source: bool = False
+    rng_tainted: bool = False
+    rng_call: Optional[ast.Call] = None
+    rng_via: Optional[str] = None
+    returns_dtype: Optional[str] = None
+    returns_view: bool = False
+    mutated_params: Dict[int, Tuple[MutationSite, ...]] = field(default_factory=dict)
+    mutates_params: Set[int] = field(default_factory=set)
+    mutates_via: Dict[int, str] = field(default_factory=dict)
+
+    @property
+    def returns_float64(self) -> bool:
+        return self.returns_dtype == "float64"
+
+    @property
+    def returns_float32(self) -> bool:
+        return self.returns_dtype == "float32"
+
+
+def mutated_argument_exprs(
+    call: ast.Call, callee: FunctionInfo, summary: FunctionSummary
+) -> Iterator[Tuple[ast.expr, int]]:
+    """Call arguments landing on a parameter index the callee mutates."""
+    offset = 0
+    func = call.func
+    if (
+        callee.is_method
+        and isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id in ("self", "cls")
+    ):
+        offset = 1  # the receiver occupies the self/cls slot
+    for position, arg in enumerate(call.args):
+        if isinstance(arg, ast.Starred):
+            break
+        if position + offset in summary.mutates_params:
+            yield arg, position + offset
+    for keyword in call.keywords:
+        if keyword.arg is None or keyword.arg not in callee.params:
+            continue
+        index = callee.params.index(keyword.arg)
+        if index in summary.mutates_params:
+            yield keyword.value, index
+
+
+def _bound_names(node: ast.AST) -> Set[str]:
+    """Names (re)bound anywhere inside ``node`` by assignment-like syntax."""
+    bound: Set[str] = set()
+
+    def collect(target: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            bound.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                collect(elt)
+        elif isinstance(target, ast.Starred):
+            collect(target.value)
+
+    for child in ast.walk(node):
+        if isinstance(child, ast.Assign):
+            for target in child.targets:
+                collect(target)
+        elif isinstance(child, ast.AnnAssign):
+            collect(child.target)
+        elif isinstance(child, ast.For):
+            collect(child.target)
+        elif isinstance(child, ast.withitem) and child.optional_vars is not None:
+            collect(child.optional_vars)
+    return bound
+
+
+def _stable_param_indices(info: FunctionInfo) -> Dict[str, int]:
+    """Parameter name -> index, for parameters never rebound in the body."""
+    rebound = _bound_names(info.node)
+    return {
+        name: index
+        for index, name in enumerate(info.params)
+        if name not in rebound
+    }
+
+
+def _param_mutations(info: FunctionInfo) -> Dict[int, Tuple[MutationSite, ...]]:
+    stable = _stable_param_indices(info)
+    found: Dict[int, List[MutationSite]] = {}
+    for site in scope_mutations(info.ctx, info.node):
+        index = stable.get(site.name)
+        if index is not None:
+            found.setdefault(index, []).append(site)
+    return {index: tuple(sites) for index, sites in found.items()}
+
+
+def _function_returns(info: FunctionInfo) -> List[ast.Return]:
+    return [
+        node
+        for node in ast.walk(info.node)
+        if isinstance(node, ast.Return)
+        and node.value is not None
+        and info.ctx.enclosing_function(node) is info.node
+    ]
+
+
+def _body_statements(info: FunctionInfo) -> List[ast.stmt]:
+    return [stmt for stmt in info.node.body if isinstance(stmt, ast.stmt)]
+
+
+def _return_dtype(
+    info: FunctionInfo, lookup: Optional[SummaryLookup]
+) -> Optional[str]:
+    returns = _function_returns(info)
+    if not returns:
+        return None
+    tracer64 = InterprocFloat64Tracer(info.ctx, lookup)
+    tracer64.process(_body_statements(info))
+    if all(tracer64.is_float64(node.value) for node in returns if node.value):
+        return "float64"
+    tracer32 = _Float32Tracer(info.ctx, lookup)
+    tracer32.process(_body_statements(info))
+    if all(tracer32.is_float32(node.value) for node in returns if node.value):
+        return "float32"
+    return None
+
+
+def _returns_view(info: FunctionInfo, lookup: Optional[SummaryLookup]) -> bool:
+    returns = _function_returns(info)
+    if not returns:
+        return False
+    tracker = _ViewTracker(info.ctx, lookup)
+    tracker.process(_body_statements(info))
+    return any(tracker.is_view(node.value) for node in returns if node.value)
+
+
+def summarize_program(
+    index: ProjectIndex, graph: CallGraph
+) -> Dict[str, FunctionSummary]:
+    """Local extraction followed by a whole-program fixpoint sweep."""
+    summaries: Dict[str, FunctionSummary] = {}
+    calls_by_fn: Dict[str, List[ast.Call]] = {}
+    for site in graph.sites:
+        if site.caller is not None:
+            calls_by_fn.setdefault(site.caller, []).append(site.call)
+
+    def lookup(call: ast.Call) -> Optional[FunctionSummary]:
+        info = graph.callee(call)
+        return None if info is None else summaries.get(info.qualname)
+
+    stable_params: Dict[str, Dict[str, int]] = {}
+    for qualname, info in index.functions.items():
+        summary = FunctionSummary(qualname)
+        sources = unseeded_rng_calls(info.ctx, info.node)
+        if sources:
+            summary.rng_source = True
+            summary.rng_tainted = True
+            summary.rng_call = sources[0]
+        summary.mutated_params = _param_mutations(info)
+        summary.mutates_params = set(summary.mutated_params)
+        summaries[qualname] = summary
+        stable_params[qualname] = _stable_param_indices(info)
+
+    changed = True
+    guard = 0
+    while changed and guard < 50:
+        changed = False
+        guard += 1
+        for qualname, info in index.functions.items():
+            summary = summaries[qualname]
+            calls = calls_by_fn.get(qualname, [])
+            if not summary.rng_tainted:
+                for call in calls:
+                    callee = graph.callee(call)
+                    if callee is None:
+                        continue
+                    if summaries[callee.qualname].rng_tainted:
+                        summary.rng_tainted = True
+                        summary.rng_via = callee.qualname
+                        changed = True
+                        break
+            dtype = _return_dtype(info, lookup)
+            if dtype != summary.returns_dtype:
+                summary.returns_dtype = dtype
+                changed = True
+            if not summary.returns_view and _returns_view(info, lookup):
+                summary.returns_view = True
+                changed = True
+            params = stable_params[qualname]
+            for call in calls:
+                callee = graph.callee(call)
+                if callee is None:
+                    continue
+                callee_summary = summaries[callee.qualname]
+                if not callee_summary.mutates_params:
+                    continue
+                for arg_expr, _ in mutated_argument_exprs(
+                    call, callee, callee_summary
+                ):
+                    if not isinstance(arg_expr, ast.Name):
+                        continue
+                    index_here = params.get(arg_expr.id)
+                    if index_here is not None and index_here not in summary.mutates_params:
+                        summary.mutates_params.add(index_here)
+                        summary.mutates_via[index_here] = callee.qualname
+                        changed = True
+    return summaries

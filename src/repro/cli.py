@@ -35,7 +35,7 @@ import dataclasses
 import json
 import sys
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from .attacks import available_attacks
 from .data.synthetic import DATASET_FACTORIES
@@ -248,6 +248,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="print every rule ID and the contract it encodes, then exit",
+    )
+    lint.add_argument(
+        "--whole-program",
+        action="store_true",
+        help="additionally run the interprocedural rule families "
+        "(RNG101, DT101, MUT001-003) over the project call graph; "
+        "supersedes DT001's function-local tracker",
+    )
+    lint.add_argument(
+        "--callgraph-json",
+        default=None,
+        metavar="FILE",
+        help="with --whole-program: also write the project call graph "
+        "(functions + resolved edges) as JSON",
+    )
+    lint.add_argument(
+        "--changed",
+        action="store_true",
+        help="lint only files reported changed by git (staged, unstaged "
+        "and untracked), intersected with the requested paths — the "
+        "pre-commit shape documented in the README",
     )
     return parser
 
@@ -552,19 +573,98 @@ def _run_list(_: argparse.Namespace) -> int:
     return 0
 
 
+def _git_changed_files() -> Optional[List[Path]]:
+    """Paths git reports as changed (staged, unstaged, untracked).
+
+    ``None`` when git is unavailable or the working directory is not a
+    repository — the caller degrades to a no-op rather than failing a
+    pre-commit hook in an exported tree.
+    """
+    import subprocess
+
+    try:
+        proc = subprocess.run(
+            ["git", "status", "--porcelain"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    changed: List[Path] = []
+    for line in proc.stdout.splitlines():
+        if len(line) < 4:
+            continue
+        entry = line[3:]
+        if " -> " in entry:  # rename: lint the new path
+            entry = entry.split(" -> ", 1)[1]
+        if entry.startswith('"') and entry.endswith('"'):
+            entry = entry[1:-1]
+        path = Path(entry)
+        if path.suffix == ".py" and path.exists():
+            changed.append(path)
+    return changed
+
+
+def _select_changed(paths: List[str]) -> Optional[List[Path]]:
+    """Changed .py files under the requested paths (see ``lint --changed``)."""
+    changed = _git_changed_files()
+    if changed is None:
+        return None
+    roots = [Path(p).resolve() for p in paths]
+    selected: List[Path] = []
+    for path in changed:
+        resolved = path.resolve()
+        for root in roots:
+            if resolved == root or root in resolved.parents:
+                selected.append(path)
+                break
+    return selected
+
+
 def _run_lint(args: argparse.Namespace) -> int:
     import json as _json
 
-    from .analysis import Baseline, default_rules, lint_paths
+    from .analysis import Baseline, default_program_rules, default_rules, lint_paths
 
     rules = default_rules()
     if args.list_rules:
         for rule in rules:
             print(f"{rule.rule_id}  {rule.contract}")
+        if args.whole_program:
+            for prule in default_program_rules():
+                print(f"{prule.rule_id}  {prule.contract}")
         return 0
+    if args.callgraph_json and not args.whole_program:
+        print("--callgraph-json requires --whole-program", file=sys.stderr)
+        return 2
     paths = args.paths or ["src", "tests"]
+    lint_targets: Sequence[Union[str, Path]] = paths
+    if args.changed:
+        selected = _select_changed(paths)
+        if selected is None:
+            print(
+                "lint --changed: not a git checkout (or git unavailable); "
+                "nothing to lint",
+                file=sys.stderr,
+            )
+            return 0
+        lint_targets = selected
     baseline = Baseline.load(args.baseline) if args.baseline else None
-    report = lint_paths(paths, rules=rules, baseline=baseline)
+    program_out: List[object] = []
+    report = lint_paths(
+        lint_targets,
+        rules=rules,
+        baseline=baseline,
+        whole_program=args.whole_program,
+        program_out=program_out,  # type: ignore[arg-type]
+    )
+    if args.callgraph_json and program_out:
+        graph = program_out[0].graph  # type: ignore[attr-defined]
+        target = Path(args.callgraph_json)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(_json.dumps(graph.to_dict(), indent=2) + "\n")
+        print(f"call graph written to {target}")
     if args.write_baseline:
         Baseline.from_diagnostics(report.diagnostics).save(args.write_baseline)
         print(

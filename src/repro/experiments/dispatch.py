@@ -66,6 +66,7 @@ from typing import Dict, Iterable, Optional, Set, Tuple, Union
 from ..data.dataset import ArrayDataset
 from ..data.synthetic import SyntheticImageSpec, SyntheticImageTask, load_dataset
 from ..fl.executor import SharedArrayRef, SharedArrayStore, attach_array_store
+from ..utils.sanitize import seal
 from .config import ExperimentConfig
 
 __all__ = [
@@ -368,8 +369,8 @@ def initialize_worker(payload: Dict[DatasetKey, Tuple[SyntheticImageSpec, Dict[s
 
 def _readonly_dataset(images, labels) -> ArrayDataset:
     dataset = ArrayDataset(images, labels)
-    dataset.images.flags.writeable = False
-    dataset.labels.flags.writeable = False
+    seal(dataset.images)
+    seal(dataset.labels)
     return dataset
 
 

@@ -94,6 +94,7 @@ from typing import (
 import numpy as np
 
 from ..nn.serialization import get_flat_params, set_flat_params
+from ..utils.sanitize import SealedArrayViolation, array_digest, sanitize_enabled, seal
 from .training import train_on_arrays
 from .types import LocalTrainingConfig
 
@@ -168,6 +169,13 @@ class SharedArrayStore:
     store is a context manager and carries a ``__del__`` safety net, so the
     segment cannot leak even when the round loop raises before its
     ``finally`` runs.  :meth:`close` is idempotent.
+
+    Under ``REPRO_SANITIZE=1`` (see :mod:`repro.utils.sanitize`) the store
+    records a BLAKE2b digest of every array at publish time and re-verifies
+    it in :meth:`close`: a consumer that defeated the sealed
+    ``writeable=False`` flag and wrote into the segment raises
+    :class:`~repro.utils.sanitize.SealedArrayViolation` at release instead
+    of silently corrupting every attached process.
     """
 
     def __init__(
@@ -187,6 +195,8 @@ class SharedArrayStore:
             total += (-total) % _SEGMENT_ALIGN
         self._shm = shared_memory.SharedMemory(create=True, size=max(1, total))
         self.refs: Dict[str, SharedArrayRef] = {}
+        self._digests: Dict[str, str] = {}
+        record_digests = sanitize_enabled()
         for name, array in contiguous.items():
             view = np.ndarray(
                 array.shape, dtype=array.dtype, buffer=self._shm.buf, offset=offsets[name]
@@ -199,6 +209,8 @@ class SharedArrayStore:
                 offset=offsets[name],
                 persistent=persistent,
             )
+            if record_digests:
+                self._digests[name] = array_digest(view)
 
     @property
     def name(self) -> str:
@@ -214,15 +226,53 @@ class SharedArrayStore:
             return 0
         return self._shm.size
 
+    def _verify_digests(self) -> List[str]:
+        """Names of published arrays whose content changed since publish.
+
+        Kept as its own frame so the verification views over ``shm.buf``
+        are dropped before :meth:`close` releases the mapping (an exported
+        buffer would make ``SharedMemory.close`` raise ``BufferError``).
+        """
+        mutated: List[str] = []
+        for name, recorded in self._digests.items():
+            ref = self.refs[name]
+            view = np.ndarray(
+                ref.shape,
+                dtype=np.dtype(ref.dtype),
+                buffer=self._shm.buf,  # type: ignore[union-attr]
+                offset=ref.offset,
+            )
+            if array_digest(view) != recorded:
+                mutated.append(name)
+            del view
+        return mutated
+
     def close(self) -> None:
-        """Close and unlink the segment (idempotent)."""
-        if self._shm is not None:
-            self._shm.close()
-            try:
-                self._shm.unlink()
-            except FileNotFoundError:  # pragma: no cover - already gone
-                pass
-            self._shm = None
+        """Close and unlink the segment (idempotent).
+
+        With digests recorded (``REPRO_SANITIZE=1`` at publish time) the
+        segment content is re-verified first; a mismatch still releases
+        the segment, then raises
+        :class:`~repro.utils.sanitize.SealedArrayViolation`.
+        """
+        if self._shm is None:
+            return
+        mutated: List[str] = []
+        if self._digests and sanitize_enabled():
+            mutated = self._verify_digests()
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+        self._shm = None
+        if mutated:
+            raise SealedArrayViolation(
+                "shared array(s) mutated while published: "
+                + ", ".join(sorted(mutated))
+                + " — some consumer wrote through a sealed shm view "
+                "(the static face of this bug is a MUT001-003 lint finding)"
+            )
 
     def __enter__(self) -> "SharedArrayStore":
         return self
@@ -332,8 +382,7 @@ def resolve_shared_array(ref: SharedArrayRef) -> np.ndarray:
     view = np.ndarray(
         ref.shape, dtype=np.dtype(ref.dtype), buffer=shm.buf, offset=ref.offset
     )
-    view.flags.writeable = False
-    return view
+    return seal(view)
 
 
 def attach_array_store(refs: Mapping[str, SharedArrayRef]) -> Dict[str, np.ndarray]:

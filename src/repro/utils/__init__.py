@@ -1,6 +1,14 @@
-"""Small shared utilities: RNG handling and plain-text result tables."""
+"""Small shared utilities: RNG handling, result tables, array sealing."""
 
 from .rng import spawn_rngs
+from .sanitize import SealedArrayViolation, array_digest, sanitize_enabled, seal
 from .tables import format_table
 
-__all__ = ["spawn_rngs", "format_table"]
+__all__ = [
+    "SealedArrayViolation",
+    "array_digest",
+    "format_table",
+    "sanitize_enabled",
+    "seal",
+    "spawn_rngs",
+]

@@ -1,0 +1,72 @@
+"""Sealed-array write sanitizer: runtime cross-check of MUT001-003.
+
+The whole-program mutation rules (``repro lint --whole-program``) prove
+statically that nothing writes through a shared-memory view.  This module
+is the runtime backstop for whatever slips past a static over-
+approximation (ctypes pokes, ``np.ndarray`` re-wraps of the raw buffer,
+third-party code):
+
+* :func:`seal` marks a view non-writeable — always on, it costs one flag
+  write and turns any in-place store through the view into an immediate
+  ``ValueError`` at the write site;
+* under ``REPRO_SANITIZE=1`` the shared stores additionally record a
+  BLAKE2b digest of every published array at creation and re-verify it at
+  release (``SharedArrayStore.close`` / lease release), so a write that
+  bypassed the sealed flag still trips loudly — as
+  :class:`SealedArrayViolation`, naming the mutated array — instead of
+  silently skewing science in every attached process.
+
+Tier-1 fixtures and the CI grid/chaos smokes run with ``REPRO_SANITIZE=1``
+so the whole suite doubles as a mutation-free certificate of the shm data
+plane.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+
+import numpy as np
+
+__all__ = [
+    "ENV_VAR",
+    "SealedArrayViolation",
+    "array_digest",
+    "sanitize_enabled",
+    "seal",
+]
+
+#: Environment switch for digest re-verification (sealing itself is free
+#: and unconditional).  Truthy values: anything but ""/"0"/"false"/"off".
+ENV_VAR = "REPRO_SANITIZE"
+
+
+class SealedArrayViolation(RuntimeError):
+    """A published shared array was mutated while leased out.
+
+    Raised at release time when a BLAKE2b re-verification under
+    ``REPRO_SANITIZE=1`` does not match the digest recorded at publish
+    time.  The static face of the same bug is a MUT001-003 finding.
+    """
+
+
+def sanitize_enabled() -> bool:
+    """Whether digest re-verification is armed (checked per call, so tests
+    can flip the environment without re-importing)."""
+    value = os.environ.get(ENV_VAR, "")
+    return value.strip().lower() not in ("", "0", "false", "off")
+
+
+def seal(array: np.ndarray) -> np.ndarray:
+    """Mark ``array`` read-only in place and return it."""
+    array.flags.writeable = False
+    return array
+
+
+def array_digest(array: np.ndarray) -> str:
+    """BLAKE2b content digest of an array (dtype + shape + bytes)."""
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(array.dtype.str.encode("ascii"))
+    digest.update(repr(array.shape).encode("ascii"))
+    digest.update(np.ascontiguousarray(array).tobytes())
+    return digest.hexdigest()

@@ -2,12 +2,35 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.data.synthetic import SyntheticImageSpec, make_synthetic_task
 from repro.fl.types import LocalTrainingConfig
 from repro.models import MLP, SmallCNN
+from repro.utils.sanitize import ENV_VAR as _SANITIZE_ENV
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _sealed_array_sanitizer():
+    """Arm the sealed-array sanitizer for the whole suite.
+
+    Every shm publication records BLAKE2b digests and re-verifies them at
+    release (``SealedArrayViolation`` on mismatch), so tier-1 doubles as a
+    mutation-free certificate of the shm data plane.  An explicit
+    ``REPRO_SANITIZE`` from the caller (e.g. ``REPRO_SANITIZE=0`` to
+    bisect sanitizer overhead) wins.
+    """
+    if os.environ.get(_SANITIZE_ENV) is not None:
+        yield
+        return
+    os.environ[_SANITIZE_ENV] = "1"
+    try:
+        yield
+    finally:
+        os.environ.pop(_SANITIZE_ENV, None)
 
 
 @pytest.fixture

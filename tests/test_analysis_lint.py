@@ -32,6 +32,9 @@ TYPED_CORE = [
     "src/repro/nn/serialization.py",
     "src/repro/experiments/config.py",
     "src/repro/fl/dispatch_policy.py",
+    "src/repro/analysis/engine.py",
+    "src/repro/analysis/callgraph.py",
+    "src/repro/analysis/summaries.py",
 ]
 
 
@@ -147,6 +150,76 @@ class TestPragmas:
         )
         report = lint_snippet(tmp_path, "src/repro/fl/a.py", source)
         assert lines_of(report, "RNG001") == [4]
+
+    DECORATED = textwrap.dedent(
+        """\
+        import functools
+        import numpy as np
+
+        @functools.lru_cache(maxsize=None)
+        def f():
+            np.random.seed(0)
+        """
+    )
+
+    def test_decorated_def_violation_is_reported(self, tmp_path):
+        report = lint_snippet(tmp_path, "src/repro/fl/a.py", self.DECORATED)
+        assert lines_of(report, "RNG001") == [6]
+
+    def test_block_pragma_above_decorator_suppresses(self, tmp_path):
+        source = self.DECORATED.replace(
+            "np.random.seed(0)",
+            "np.random.seed(0)  # repro: allow[RNG001] fixture",
+        )
+        report = lint_snippet(tmp_path, "src/repro/fl/a.py", source)
+        assert report.ok and report.suppressed_pragma == 1
+
+    def test_pragma_above_decorator_covers_def_line_finding(self, tmp_path):
+        # The finding anchors on the ``def`` line (a mutable default), but
+        # the natural place for the pragma is above the decorator stack.
+        source = """\
+        import functools
+        import numpy as np
+
+        # repro: allow[RNG001] fixture: pragma above the decorator
+        @functools.lru_cache(maxsize=None)
+        def f(noise=np.random.rand(3)):
+            return noise
+        """
+        report = lint_snippet(tmp_path, "src/repro/fl/a.py", source)
+        assert report.ok and report.suppressed_pragma == 1
+
+    def test_pragma_above_multiline_decorator_covers_def_line(self, tmp_path):
+        source = """\
+        import functools
+        import numpy as np
+
+        # repro: allow[RNG001] fixture: multi-line decorator call
+        @functools.lru_cache(
+            maxsize=None,
+        )
+        def f(noise=np.random.rand(3)):
+            return noise
+        """
+        report = lint_snippet(tmp_path, "src/repro/fl/a.py", source)
+        assert report.ok and report.suppressed_pragma == 1
+
+    def test_pragma_above_decorator_does_not_leak_past_the_def(self, tmp_path):
+        source = """\
+        import functools
+        import numpy as np
+
+        # repro: allow[RNG001] fixture
+        @functools.lru_cache(maxsize=None)
+        def f(noise=np.random.rand(3)):
+            return noise
+
+        def g():
+            np.random.seed(0)
+        """
+        report = lint_snippet(tmp_path, "src/repro/fl/a.py", source)
+        assert report.suppressed_pragma == 1
+        assert lines_of(report, "RNG001") == [10]
 
 
 class TestBaseline:
